@@ -1,0 +1,170 @@
+// Package navaug's top-level benchmark harness: one benchmark per
+// experiment (E1..E10), i.e. per table/figure-equivalent of the paper's
+// claims, plus micro-benchmarks of the two core constructions.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the same code path as `navsim run
+// -exp <id>` at a reduced scale (override with NAVAUG_BENCH_SCALE) and
+// reports the headline measurement of the experiment as a custom metric so
+// the paper-shape can be read straight from the benchmark output.
+package navaug
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"navaug/internal/augment"
+	"navaug/internal/decomp"
+	"navaug/internal/experiments"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/sim"
+	"navaug/internal/xrand"
+)
+
+// treeDecomposer wires the Theorem 2 scheme to the centroid decomposition
+// used by the micro-benchmark below.
+func treeDecomposer(g *graph.Graph) (*decomp.PathDecomposition, error) {
+	return decomp.TreeCentroid(g)
+}
+
+// benchScale returns the experiment size scale used by the benchmarks.
+// The default keeps a full `go test -bench=.` run to a few minutes; set
+// NAVAUG_BENCH_SCALE=1.0 to reproduce the EXPERIMENTS.md numbers exactly.
+func benchScale() float64 {
+	if v := os.Getenv("NAVAUG_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.25
+}
+
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:  experiments.DefaultConfig().Seed,
+		Scale: benchScale(),
+	}
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+// BenchmarkE1UniformSqrtN regenerates the E1 sweep: uniform scheme greedy
+// diameters across families with their ~n^0.5 fits.
+func BenchmarkE1UniformSqrtN(b *testing.B) { benchmarkExperiment(b, "E1") }
+
+// BenchmarkE2NameIndependentLowerBound regenerates the E2 table: identity vs
+// adversarial labelings of matrix schemes on the path (Theorem 1).
+func BenchmarkE2NameIndependentLowerBound(b *testing.B) { benchmarkExperiment(b, "E2") }
+
+// BenchmarkE3TreesPolylog regenerates the E3 sweep: Theorem 2 scheme vs
+// uniform on trees (Corollary 1, O(log³ n)).
+func BenchmarkE3TreesPolylog(b *testing.B) { benchmarkExperiment(b, "E3") }
+
+// BenchmarkE4ATFreePolylog regenerates the E4 sweep: Theorem 2 scheme vs
+// uniform on interval graphs (Corollary 1, O(log² n)).
+func BenchmarkE4ATFreePolylog(b *testing.B) { benchmarkExperiment(b, "E4") }
+
+// BenchmarkE5Theorem2GeneralGraphs regenerates the E5 sweep: the O(√n)
+// fallback of Theorem 2 on grids and sparse random graphs.
+func BenchmarkE5Theorem2GeneralGraphs(b *testing.B) { benchmarkExperiment(b, "E5") }
+
+// BenchmarkE6LabelSizeLowerBound regenerates the E6 sweep: compressed-label
+// schemes on the path vs the Theorem 3 lower bound.
+func BenchmarkE6LabelSizeLowerBound(b *testing.B) { benchmarkExperiment(b, "E6") }
+
+// BenchmarkE7BallSchemeCubeRoot regenerates the E7 sweep: the Theorem 4 ball
+// scheme's ~n^{1/3} scaling across families.
+func BenchmarkE7BallSchemeCubeRoot(b *testing.B) { benchmarkExperiment(b, "E7") }
+
+// BenchmarkE8BarrierCrossover regenerates the E8 table: uniform vs ball
+// greedy diameters and the crossover sizes.
+func BenchmarkE8BarrierCrossover(b *testing.B) { benchmarkExperiment(b, "E8") }
+
+// BenchmarkE9KleinbergBaseline regenerates the E9 table: distance-harmonic
+// baselines vs the ball scheme on paths and grids.
+func BenchmarkE9KleinbergBaseline(b *testing.B) { benchmarkExperiment(b, "E9") }
+
+// BenchmarkE10Ablations regenerates the E10 ablation tables for the
+// Theorem 2 and Theorem 4 constructions.
+func BenchmarkE10Ablations(b *testing.B) { benchmarkExperiment(b, "E10") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the primitives that dominate experiment runtime.
+// ---------------------------------------------------------------------------
+
+// BenchmarkBallContactDraw measures a single Theorem 4 long-range contact
+// draw (one bounded BFS plus a uniform pick) on a 256x256 grid.
+func BenchmarkBallContactDraw(b *testing.B) {
+	g := gen.Grid2D(256, 256)
+	inst, err := augment.NewBallScheme().Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		if c := inst.Contact(u, rng); int(c) >= g.N() {
+			b.Fatal("bad contact")
+		}
+	}
+}
+
+// BenchmarkTheorem2ContactDraw measures a single (M, L) contact draw on a
+// 65535-node binary tree (ancestor enumeration plus label lookup).
+func BenchmarkTheorem2ContactDraw(b *testing.B) {
+	g := gen.BinaryTree(65535)
+	scheme := augment.NewTheorem2Scheme(treeDecomposer)
+	inst, err := scheme.Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		if c := inst.Contact(u, rng); int(c) >= g.N() {
+			b.Fatal("bad contact")
+		}
+	}
+}
+
+// BenchmarkGreedyDiameterEstimateBallGrid measures a full greedy-diameter
+// estimation (the unit of work every experiment repeats) for the ball scheme
+// on a 128x128 grid.
+func BenchmarkGreedyDiameterEstimateBallGrid(b *testing.B) {
+	g := gen.Grid2D(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := sim.EstimateGreedyDiameter(g, augment.NewBallScheme(),
+			sim.Config{Pairs: 8, Trials: 4, Seed: uint64(i) + 1, IncludeExtremalPair: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(est.GreedyDiameter, "greedy-diam")
+	}
+}

@@ -1,0 +1,191 @@
+// Command navsim runs the paper-reproduction experiments (E1..E10) and
+// ad-hoc greedy-diameter estimations.
+//
+// Usage:
+//
+//	navsim list
+//	    List the available experiments with their claims.
+//
+//	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md] [-workers N]
+//	    Run the selected experiments (default: all) and print their tables.
+//
+//	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-seed N]
+//	    Estimate the greedy diameter of one (family, scheme) combination.
+//
+//	navsim exact -family path -n 400 -scheme uniform [-seed N]
+//	    Compute the exact greedy diameter (no sampling) for small instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"navaug/internal/core"
+	"navaug/internal/exact"
+	"navaug/internal/experiments"
+	"navaug/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "run":
+		err = runExperiments(os.Args[2:])
+	case "estimate":
+		err = runEstimate(os.Args[2:])
+	case "exact":
+		err = runExact(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "navsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "navsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  navsim list
+  navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md] [-workers N] [-pairs N] [-trials N]
+  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-seed N] [-workers N]
+  navsim exact -family path -n 400 -scheme uniform [-seed N]`)
+}
+
+func runList() error {
+	for _, e := range experiments.All() {
+		fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+	}
+	return nil
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	expList := fs.String("exp", "", "comma-separated experiment ids (default: all)")
+	scale := fs.Float64("scale", 1.0, "size scale factor (1.0 = EXPERIMENTS.md sizes)")
+	seed := fs.Uint64("seed", experiments.DefaultConfig().Seed, "random seed")
+	format := fs.String("format", "text", "output format: text, csv or md")
+	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	pairs := fs.Int("pairs", 0, "override source/target pairs per estimate")
+	trials := fs.Int("trials", 0, "override augmentation redraws per pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{
+		Seed:    *seed,
+		Scale:   *scale,
+		Workers: *workers,
+		Pairs:   *pairs,
+		Trials:  *trials,
+	}
+	var selected []experiments.Experiment
+	if *expList == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experiments.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		fmt.Printf("\n#### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("claim: %s\n\n", e.Claim)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout, *format); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func runEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	family := fs.String("family", "grid", "graph family ("+strings.Join(core.GraphFamilies(), ", ")+")")
+	n := fs.Int("n", 4096, "approximate graph size")
+	schemeName := fs.String("scheme", "ball", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")
+	pairs := fs.Int("pairs", 12, "source/target pairs")
+	trials := fs.Int("trials", 6, "augmentation redraws per pair")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := core.GraphByName(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.SchemeByName(*schemeName)
+	if err != nil {
+		return err
+	}
+	ag, err := core.Augment(g, scheme)
+	if err != nil {
+		return err
+	}
+	est, err := ag.EstimateGreedyDiameter(sim.Config{
+		Pairs:               *pairs,
+		Trials:              *trials,
+		Seed:                *seed,
+		Workers:             *workers,
+		IncludeExtremalPair: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph:            %v\n", g)
+	fmt.Printf("scheme:           %s\n", est.Scheme)
+	fmt.Printf("greedy diameter:  %.2f (max over %d sampled pairs of per-pair mean)\n", est.GreedyDiameter, len(est.PairStats))
+	fmt.Printf("mean steps:       %.2f ± %.2f (95%% CI over pair means)\n", est.MeanSteps, est.CI95)
+	fmt.Printf("mean long links:  %.2f per route\n", est.MeanLongLinks)
+	fmt.Printf("samples:          %d routed trials\n", est.Samples)
+	return nil
+}
+
+func runExact(args []string) error {
+	fs := flag.NewFlagSet("exact", flag.ExitOnError)
+	family := fs.String("family", "path", "graph family ("+strings.Join(core.GraphFamilies(), ", ")+")")
+	n := fs.Int("n", 400, "approximate graph size (exact computation is cubic; keep n small)")
+	schemeName := fs.String("scheme", "uniform", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")
+	seed := fs.Uint64("seed", 1, "random seed for graph generation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := core.GraphByName(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.SchemeByName(*schemeName)
+	if err != nil {
+		return err
+	}
+	res, err := exact.SchemeGreedyDiameter(g, scheme)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph:                 %v\n", g)
+	fmt.Printf("scheme:                %s\n", scheme.Name())
+	fmt.Printf("exact greedy diameter: %.4f (pair %d -> %d)\n", res.GreedyDiameter, res.ArgSource, res.ArgTarget)
+	fmt.Printf("mean pair expectation: %.4f\n", res.MeanExpectation)
+	return nil
+}

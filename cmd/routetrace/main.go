@@ -1,0 +1,108 @@
+// Command routetrace runs a single greedy routing trial on an augmented
+// graph and prints the hop-by-hop trace, which is handy for building
+// intuition about how each scheme navigates.
+//
+// Usage:
+//
+//	routetrace -family grid -n 1024 -scheme ball -s 0 -t 1023 [-seed 7] [-lookahead]
+//
+// A negative -s or -t picks the endpoints of an (approximately) diametral
+// pair automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"navaug/internal/core"
+	"navaug/internal/graph"
+	"navaug/internal/route"
+	"navaug/internal/xrand"
+)
+
+func main() {
+	family := flag.String("family", "grid", "graph family ("+strings.Join(core.GraphFamilies(), ", ")+")")
+	n := flag.Int("n", 1024, "approximate number of nodes")
+	schemeName := flag.String("scheme", "ball", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")
+	src := flag.Int("s", -1, "source node (negative = auto)")
+	dst := flag.Int("t", -1, "target node (negative = auto)")
+	seed := flag.Uint64("seed", 7, "random seed")
+	lookahead := flag.Bool("lookahead", false, "use neighbour-of-neighbour lookahead routing")
+	flag.Parse()
+
+	if err := run(*family, *n, *schemeName, *src, *dst, *seed, *lookahead); err != nil {
+		fmt.Fprintf(os.Stderr, "routetrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(family string, n int, schemeName string, src, dst int, seed uint64, lookahead bool) error {
+	g, err := core.GraphByName(family, n, seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.SchemeByName(schemeName)
+	if err != nil {
+		return err
+	}
+	inst, err := scheme.Prepare(g)
+	if err != nil {
+		return err
+	}
+
+	s, t := graph.NodeID(src), graph.NodeID(dst)
+	if src < 0 || dst < 0 {
+		s, t = extremalPair(g)
+	}
+	distToTarget := g.BFS(t)
+	if distToTarget[s] == graph.Unreachable {
+		return fmt.Errorf("target %d unreachable from source %d", t, s)
+	}
+	rng := xrand.New(seed)
+	var res route.Result
+	if lookahead {
+		res, err = route.GreedyWithLookahead(g, inst, s, t, distToTarget, rng, route.Options{Trace: true})
+	} else {
+		res, err = route.Greedy(g, inst, s, t, distToTarget, rng, route.Options{Trace: true})
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph:   %v\n", g)
+	fmt.Printf("scheme:  %s\n", scheme.Name())
+	fmt.Printf("route:   %d -> %d (graph distance %d)\n", s, t, distToTarget[s])
+	fmt.Printf("steps:   %d (%d via long-range links), reached=%v\n", res.Steps, res.LongLinksUsed, res.Reached)
+	fmt.Println("trace (node, distance to target):")
+	for i, v := range res.Path {
+		marker := ""
+		if i > 0 {
+			prev := res.Path[i-1]
+			if !g.HasEdge(prev, v) {
+				marker = "  <- long-range link"
+			}
+		}
+		fmt.Printf("  %4d: node %-8d dist %-6d%s\n", i, v, distToTarget[v], marker)
+	}
+	return nil
+}
+
+func extremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
+	d1 := g.BFS(0)
+	a := graph.NodeID(0)
+	for v, d := range d1 {
+		if d > d1[a] {
+			a = graph.NodeID(v)
+		}
+	}
+	d2 := g.BFS(a)
+	b := a
+	for v, d := range d2 {
+		if d > d2[b] {
+			b = graph.NodeID(v)
+		}
+	}
+	return a, b
+}

@@ -1,0 +1,217 @@
+package augment
+
+import (
+	"fmt"
+	"sync"
+
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// BallScheme is the paper's Theorem 4 universal augmentation scheme, the
+// one that overcomes the √n barrier:
+//
+//	every node u independently picks a scale k uniformly in {1..⌈log n⌉}
+//	and then a long-range contact uniformly at random in the ball
+//	B(u, 2^k) of radius 2^k around u.
+//
+// Greedy routing under this scheme takes Õ(n^{1/3}) expected steps on every
+// n-node graph.  The scheme is "a posteriori": drawing a contact requires
+// knowing the ball, i.e. the structure of G around u.
+type BallScheme struct {
+	// FixedScale, when non-zero, disables the uniform choice of k and always
+	// uses the given scale.  This is the E10 ablation showing that mixing all
+	// scales is essential.
+	FixedScale int
+	// RankUniform, when true, picks the contact by first choosing a distance
+	// d uniformly in [0, 2^k] and then a uniform node at distance exactly d
+	// (if any), instead of uniformly over the ball.  Second E10 ablation.
+	RankUniform bool
+}
+
+// NewBallScheme returns the Theorem 4 scheme.
+func NewBallScheme() *BallScheme { return &BallScheme{} }
+
+// Name implements Scheme.
+func (s *BallScheme) Name() string {
+	switch {
+	case s.FixedScale > 0 && s.RankUniform:
+		return fmt.Sprintf("ball-fixed%d-rank", s.FixedScale)
+	case s.FixedScale > 0:
+		return fmt.Sprintf("ball-fixed%d", s.FixedScale)
+	case s.RankUniform:
+		return "ball-rank"
+	default:
+		return "ball"
+	}
+}
+
+// ballInstance carries the read-only graph and a pool of scratch buffers for
+// the bounded BFS used to enumerate balls.
+type ballInstance struct {
+	g         *graph.Graph
+	maxScale  int
+	fixed     int
+	rankUnif  bool
+	scratches sync.Pool
+}
+
+type ballScratch struct {
+	seen  []int32 // epoch marks
+	epoch int32
+	queue []graph.NodeID
+	dists []int32
+}
+
+// Prepare implements Scheme.
+func (s *BallScheme) Prepare(g *graph.Graph) (Instance, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("augment: ball scheme needs a non-empty graph")
+	}
+	maxScale := dist.CeilLog2(n)
+	if maxScale < 1 {
+		maxScale = 1
+	}
+	if s.FixedScale > maxScale {
+		return nil, fmt.Errorf("augment: fixed scale %d exceeds ⌈log n⌉ = %d", s.FixedScale, maxScale)
+	}
+	inst := &ballInstance{g: g, maxScale: maxScale, fixed: s.FixedScale, rankUnif: s.RankUniform}
+	inst.scratches.New = func() any {
+		return &ballScratch{
+			seen:  make([]int32, n),
+			queue: make([]graph.NodeID, 0, 64),
+			dists: make([]int32, 0, 64),
+		}
+	}
+	return inst, nil
+}
+
+// Contact implements Instance.
+func (b *ballInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	k := b.fixed
+	if k == 0 {
+		k = 1 + rng.Intn(b.maxScale)
+	}
+	radius := int32(1)
+	if k < 31 {
+		radius = int32(1) << uint(k)
+	} else {
+		radius = int32(b.g.N()) // effectively unbounded
+	}
+	sc := b.scratches.Get().(*ballScratch)
+	defer b.scratches.Put(sc)
+	nodes, dists := sc.boundedBFS(b.g, u, radius)
+	if b.rankUnif {
+		// Ablation: uniform over distances then uniform over the sphere.
+		d := int32(rng.Intn(int(radius) + 1))
+		// Collect nodes at distance exactly d; fall back to the ball when the
+		// sphere is empty (d beyond the reachable range).
+		lo, hi := -1, -1
+		for i, dd := range dists {
+			if dd == d {
+				if lo == -1 {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		if lo >= 0 {
+			return nodes[lo+rng.Intn(hi-lo+1)]
+		}
+		return nodes[rng.Intn(len(nodes))]
+	}
+	return nodes[rng.Intn(len(nodes))]
+}
+
+// ContactDistribution implements Distributional using the paper's formula
+//
+//	φ_u(v) = (1/⌈log n⌉) · Σ_{k ≥ r(v)} 1/|B_k(u)|
+//
+// where r(v) is the smallest scale k ∈ {1..⌈log n⌉} with v ∈ B(u, 2^k) (for
+// the FixedScale ablation only that scale contributes).  The RankUniform
+// ablation's distribution is assembled per distance class instead.
+func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
+	n := b.g.N()
+	dist := make([]float64, n)
+	sc := b.scratches.Get().(*ballScratch)
+	defer b.scratches.Put(sc)
+
+	scales := make([]int, 0, b.maxScale)
+	if b.fixed > 0 {
+		scales = append(scales, b.fixed)
+	} else {
+		for k := 1; k <= b.maxScale; k++ {
+			scales = append(scales, k)
+		}
+	}
+	pScale := 1.0 / float64(len(scales))
+	for _, k := range scales {
+		radius := int32(1)
+		if k < 31 {
+			radius = int32(1) << uint(k)
+		} else {
+			radius = int32(n)
+		}
+		nodes, dists := sc.boundedBFS(b.g, u, radius)
+		if b.rankUnif {
+			// Uniform over distances 0..radius, then uniform on the sphere at
+			// that distance; empty spheres fall back to the whole ball.
+			counts := make(map[int32]int, 8)
+			for _, d := range dists {
+				counts[d]++
+			}
+			emptySpheres := 0
+			for d := int32(0); d <= radius; d++ {
+				if counts[d] == 0 {
+					emptySpheres++
+				}
+			}
+			pDist := 1.0 / float64(radius+1)
+			fallback := float64(emptySpheres) * pDist / float64(len(nodes))
+			for i, v := range nodes {
+				dist[v] += pScale * (pDist/float64(counts[dists[i]]) + fallback)
+			}
+		} else {
+			p := pScale / float64(len(nodes))
+			for _, v := range nodes {
+				dist[v] += p
+			}
+		}
+	}
+	return dist
+}
+
+// boundedBFS enumerates the ball B(src, radius) using epoch-marked scratch
+// buffers so repeated draws do not allocate.  Nodes come out in
+// non-decreasing distance order.
+func (sc *ballScratch) boundedBFS(g *graph.Graph, src graph.NodeID, radius int32) ([]graph.NodeID, []int32) {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped around; clear marks
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+	sc.dists = sc.dists[:0]
+	sc.seen[src] = sc.epoch
+	sc.queue = append(sc.queue, src)
+	sc.dists = append(sc.dists, 0)
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		du := sc.dists[head]
+		if du == radius {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if sc.seen[v] != sc.epoch {
+				sc.seen[v] = sc.epoch
+				sc.queue = append(sc.queue, v)
+				sc.dists = append(sc.dists, du+1)
+			}
+		}
+	}
+	return sc.queue, sc.dists
+}

@@ -1,0 +1,82 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the schemes used in the Theorem 3 experiment: matrix
+// based augmentation of the path with a compressed label space of only
+// k = n^ε labels.  Theorem 3 proves that any such scheme has greedy diameter
+// Ω(n^β) for every β < (1-ε)/3; the block-harmonic construction below is a
+// natural best-effort scheme in that regime (it reaches the right block
+// quickly but has to walk inside the final block), so measuring it shows how
+// the achievable greedy diameter degrades as labels shrink.
+
+// NewBlockLabels returns the block labeling of the n-node path with k
+// labels: consecutive blocks of ⌈n/k⌉ nodes share a label.
+func NewBlockLabels(n, k int) ([]int, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("augment: block labels need n >= 1 and k >= 1")
+	}
+	if k > n {
+		k = n
+	}
+	blockSize := (n + k - 1) / k
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = v/blockSize + 1
+		if labels[v] > k {
+			labels[v] = k
+		}
+	}
+	return labels, nil
+}
+
+// NewCompressedLabelPathScheme builds the Theorem 3 experiment scheme for
+// the n-node path: k = max(2, ⌈n^ε⌉) block labels with a harmonic matrix
+// over label indices.  The identity node order of gen.Path is assumed (node
+// v sits at path position v).
+func NewCompressedLabelPathScheme(n int, epsilon float64) (Scheme, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("augment: epsilon must be in [0,1], got %g", epsilon)
+	}
+	k := int(math.Ceil(math.Pow(float64(n), epsilon)))
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	labels, err := NewBlockLabels(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &MatrixLabelingScheme{
+		Matrix:     NewHarmonicMatrix(k),
+		Labels:     labels,
+		SchemeName: fmt.Sprintf("compressed-eps%.2f-k%d", epsilon, k),
+	}, nil
+}
+
+// LabelsForGraphSize is a small helper returning the number of labels k
+// corresponding to label size ε·log n bits, i.e. k = ⌈n^ε⌉ (at least 2).
+func LabelsForGraphSize(n int, epsilon float64) int {
+	k := int(math.Ceil(math.Pow(float64(n), epsilon)))
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Theorem3LowerBoundExponent returns the exponent β = (1-ε)/3 of the paper's
+// lower bound for label size ε·log n, for annotating experiment output.
+func Theorem3LowerBoundExponent(epsilon float64) float64 {
+	if epsilon >= 1 {
+		return 0
+	}
+	return (1 - epsilon) / 3
+}

@@ -1,0 +1,222 @@
+package augment
+
+import (
+	"math"
+	"testing"
+
+	"navaug/internal/decomp"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/xrand"
+)
+
+// Every scheme shipped with the package must implement Distributional, its
+// distribution must be a proper probability vector, and the Contact sampler
+// must match the distribution empirically.  These tests pin the sampler and
+// the analytic form to each other, which is what makes the exact
+// greedy-diameter DP in internal/exact trustworthy.
+
+func allDistributionalSchemes(t *testing.T) map[string]struct {
+	g    *graph.Graph
+	inst Distributional
+} {
+	t.Helper()
+	out := map[string]struct {
+		g    *graph.Graph
+		inst Distributional
+	}{}
+	add := func(name string, g *graph.Graph, scheme Scheme) {
+		inst, err := scheme.Prepare(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, ok := inst.(Distributional)
+		if !ok {
+			t.Fatalf("%s: instance does not implement Distributional", name)
+		}
+		out[name] = struct {
+			g    *graph.Graph
+			inst Distributional
+		}{g: g, inst: d}
+	}
+
+	rng := xrand.New(404)
+	pathG := gen.Path(40)
+	gridG := gen.Grid2D(7, 7)
+	intervalG, model := gen.RandomIntervalGraph(40, 3, rng)
+
+	add("none", pathG, NewNoAugmentation())
+	add("uniform", pathG, NewUniformScheme())
+	add("ball", gridG, NewBallScheme())
+	add("ball-fixed2", gridG, &BallScheme{FixedScale: 2})
+	add("ball-rank", pathG, &BallScheme{RankUniform: true})
+	add("harmonic", gridG, NewHarmonicScheme(1.5))
+	add("theorem2-path", pathG, NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+		return decomp.OfPathGraph(g)
+	}))
+	pd := decomp.IntervalCliquePath(model)
+	add("theorem2-interval", intervalG, NewTheorem2Scheme(func(*graph.Graph) (*decomp.PathDecomposition, error) {
+		return pd, nil
+	}))
+	add("matrix-bijective", pathG, &NameIndependentScheme{Matrix: NewHarmonicMatrix(40)})
+	labels, err := NewBlockLabels(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("matrix-labeling", pathG, &MatrixLabelingScheme{Matrix: NewHarmonicMatrix(5), Labels: labels})
+	return out
+}
+
+func TestContactDistributionsAreProbabilityVectors(t *testing.T) {
+	for name, c := range allDistributionalSchemes(t) {
+		n := c.g.N()
+		for u := 0; u < n; u++ {
+			dist := c.inst.ContactDistribution(graph.NodeID(u))
+			if len(dist) != n {
+				t.Fatalf("%s: distribution of node %d has length %d, want %d", name, u, len(dist), n)
+			}
+			sum := 0.0
+			for v, p := range dist {
+				if p < -1e-12 || p > 1+1e-9 {
+					t.Fatalf("%s: φ_%d(%d) = %v out of range", name, u, v, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("%s: φ_%d sums to %v", name, u, sum)
+			}
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	const draws = 40000
+	rng := xrand.New(77)
+	for name, c := range allDistributionalSchemes(t) {
+		// Check a handful of nodes per scheme to keep runtime modest.
+		nodes := []graph.NodeID{0, graph.NodeID(c.g.N() / 2), graph.NodeID(c.g.N() - 1)}
+		for _, u := range nodes {
+			want := c.inst.ContactDistribution(u)
+			counts := make([]int, c.g.N())
+			for i := 0; i < draws; i++ {
+				counts[c.inst.Contact(u, rng)]++
+			}
+			for v, p := range want {
+				got := float64(counts[v]) / draws
+				// Absolute tolerance: generous enough for 40k draws, tight
+				// enough to catch systematically wrong distributions.
+				if math.Abs(got-p) > 0.015+0.1*p {
+					t.Fatalf("%s: node %d -> %d: empirical %v vs analytic %v", name, u, v, got, p)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformDistributionExactForm(t *testing.T) {
+	g := gen.Path(10)
+	inst, _ := NewUniformScheme().Prepare(g)
+	d := inst.(Distributional).ContactDistribution(3)
+	for _, p := range d {
+		if math.Abs(p-0.1) > 1e-12 {
+			t.Fatalf("uniform distribution entry %v", p)
+		}
+	}
+}
+
+func TestNoAugmentationDistributionExactForm(t *testing.T) {
+	g := gen.Path(5)
+	inst, _ := NewNoAugmentation().Prepare(g)
+	d := inst.(Distributional).ContactDistribution(2)
+	for v, p := range d {
+		want := 0.0
+		if v == 2 {
+			want = 1
+		}
+		if p != want {
+			t.Fatalf("no-augmentation distribution entry %d = %v", v, p)
+		}
+	}
+}
+
+func TestBallDistributionMatchesPaperFormula(t *testing.T) {
+	// Independent re-derivation of φ_u for the ball scheme on a small path,
+	// mirroring the formula in the paper (and in the sampler test of
+	// scheme_test.go) but compared against ContactDistribution directly.
+	n := 16
+	g := gen.Path(n)
+	inst, _ := NewBallScheme().Prepare(g)
+	d := inst.(Distributional).ContactDistribution(5)
+	logN := 4
+	want := make([]float64, n)
+	for k := 1; k <= logN; k++ {
+		radius := 1 << uint(k)
+		var ball []int
+		for v := 0; v < n; v++ {
+			if abs(v-5) <= radius {
+				ball = append(ball, v)
+			}
+		}
+		for _, v := range ball {
+			want[v] += 1.0 / (float64(logN) * float64(len(ball)))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(d[v]-want[v]) > 1e-9 {
+			t.Fatalf("ball distribution at %d: %v vs %v", v, d[v], want[v])
+		}
+	}
+}
+
+func TestHarmonicDistributionNormalisation(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	inst, _ := NewHarmonicScheme(2).Prepare(g)
+	d := inst.(Distributional).ContactDistribution(12)
+	if d[12] != 0 {
+		t.Fatal("harmonic distribution must put no mass on the node itself when neighbours exist")
+	}
+	// Closer nodes get more mass: node 11 (distance 1) vs node 0 (distance 4).
+	if d[11] <= d[0] {
+		t.Fatal("harmonic distribution not decreasing in distance")
+	}
+}
+
+func TestTheorem2DistributionUniformHalf(t *testing.T) {
+	g := gen.Path(32)
+	inst, _ := NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+		return decomp.OfPathGraph(g)
+	}).Prepare(g)
+	d := inst.(Distributional).ContactDistribution(7)
+	// Every node receives at least the uniform half's 0.5/n.
+	for v, p := range d {
+		if p < 0.5/32-1e-12 {
+			t.Fatalf("node %d receives %v < uniform half share", v, p)
+		}
+	}
+}
+
+func TestMatrixDistributionRespectsEmptyLabels(t *testing.T) {
+	g := gen.Path(4)
+	p := [][]float64{
+		{0, 1, 0},
+		{0, 1, 0},
+		{0, 1, 0},
+	}
+	m, _ := NewMatrix(p)
+	labels := []int{1, 1, 3, 3} // label 2 is empty
+	inst, err := (&MatrixLabelingScheme{Matrix: m, Labels: labels}).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.(Distributional).ContactDistribution(0)
+	if d[0] != 1 {
+		t.Fatalf("all mass should collapse to 'no link', got %v", d)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,128 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// HarmonicScheme is the distance-harmonic augmentation: the long-range
+// contact of u is node v ≠ u with probability proportional to
+// dist_G(u,v)^(-Exponent).  With Exponent equal to the dimension it is the
+// scheme Kleinberg proved polylog-navigable on d-dimensional meshes [13];
+// the paper uses it as the canonical example of a scheme that is excellent
+// on specific classes but not universal (it degrades on paths and trees when
+// the exponent does not match the growth rate).
+type HarmonicScheme struct {
+	// Exponent is the decay exponent r in Pr(u→v) ∝ dist(u,v)^-r.
+	Exponent float64
+}
+
+// NewHarmonicScheme returns the distance-harmonic scheme with exponent r.
+func NewHarmonicScheme(r float64) *HarmonicScheme { return &HarmonicScheme{Exponent: r} }
+
+// Name implements Scheme.
+func (s *HarmonicScheme) Name() string { return fmt.Sprintf("harmonic-r%g", s.Exponent) }
+
+type harmonicInstance struct {
+	g        *graph.Graph
+	exponent float64
+	scratch  sync.Pool
+}
+
+type harmonicScratch struct {
+	dist    []int32
+	queue   []int32
+	weights []float64
+}
+
+// Prepare implements Scheme.
+func (s *HarmonicScheme) Prepare(g *graph.Graph) (Instance, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("augment: harmonic scheme needs a non-empty graph")
+	}
+	if s.Exponent < 0 {
+		return nil, fmt.Errorf("augment: harmonic exponent must be >= 0, got %g", s.Exponent)
+	}
+	inst := &harmonicInstance{g: g, exponent: s.Exponent}
+	n := g.N()
+	inst.scratch.New = func() any {
+		return &harmonicScratch{
+			dist:    make([]int32, n),
+			queue:   make([]int32, 0, n),
+			weights: make([]float64, n),
+		}
+	}
+	return inst, nil
+}
+
+// ContactDistribution implements Distributional: probabilities proportional
+// to dist(u,·)^-r over all reachable nodes other than u (u keeps the mass
+// only when it has no reachable neighbours at all).
+func (h *harmonicInstance) ContactDistribution(u graph.NodeID) []float64 {
+	n := h.g.N()
+	out := make([]float64, n)
+	d := h.g.BFS(u)
+	total := 0.0
+	for v, dv := range d {
+		if dv <= 0 {
+			continue
+		}
+		w := math.Pow(float64(dv), -h.exponent)
+		out[v] = w
+		total += w
+	}
+	if total == 0 {
+		out[u] = 1
+		return out
+	}
+	for v := range out {
+		out[v] /= total
+	}
+	return out
+}
+
+// Contact implements Instance.  Each draw runs one BFS from u and samples a
+// node with probability proportional to dist(u,·)^-r.
+func (h *harmonicInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	sc := h.scratch.Get().(*harmonicScratch)
+	defer h.scratch.Put(sc)
+	for i := range sc.dist {
+		sc.dist[i] = graph.Unreachable
+	}
+	h.g.BFSInto(u, sc.dist, sc.queue)
+	total := 0.0
+	for v, d := range sc.dist {
+		if d <= 0 { // u itself or unreachable
+			sc.weights[v] = 0
+			continue
+		}
+		w := math.Pow(float64(d), -h.exponent)
+		sc.weights[v] = w
+		total += w
+	}
+	if total == 0 {
+		return u // isolated node: no candidates
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for v, w := range sc.weights {
+		if w == 0 {
+			continue
+		}
+		acc += w
+		if x < acc {
+			return graph.NodeID(v)
+		}
+	}
+	// Floating point slack: fall back to the last positive-weight node.
+	for v := len(sc.weights) - 1; v >= 0; v-- {
+		if sc.weights[v] > 0 {
+			return graph.NodeID(v)
+		}
+	}
+	return u
+}

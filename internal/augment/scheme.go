@@ -1,0 +1,102 @@
+// Package augment implements the augmentation schemes studied in the paper:
+// the uniform scheme (Peleg's O(√n) bound), dense matrix-based schemes and
+// the Theorem 1 adversarial labeling, the Theorem 2 ancestor-matrix scheme
+// driven by a path decomposition, the Theorem 3 compressed-label schemes,
+// and the headline Theorem 4 ball scheme with greedy diameter Õ(n^{1/3}).
+//
+// A Scheme describes how to augment any graph; Prepare builds per-graph
+// state (distances, decompositions, labelings) and returns an Instance that
+// draws long-range contacts node by node.  Instances are required to be
+// safe for concurrent use: all mutable state lives in the *xrand.RNG passed
+// to Contact, which each worker owns exclusively.
+//
+// Greedy routing never revisits a node (the distance to the target strictly
+// decreases every step), so drawing contacts lazily at first visit is
+// statistically identical to drawing the whole augmentation up front.  The
+// Memo wrapper provides that per-trial memoisation.
+package augment
+
+import (
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// Scheme is a recipe for augmenting any graph with one long-range link per
+// node.
+type Scheme interface {
+	// Name returns a short identifier used in reports and benchmarks.
+	Name() string
+	// Prepare builds the per-graph state needed to draw long-range contacts.
+	Prepare(g *graph.Graph) (Instance, error)
+}
+
+// Instance draws long-range contacts for a specific graph.
+// Implementations must be safe for concurrent use by multiple goroutines.
+type Instance interface {
+	// Contact draws the long-range contact of u.  Returning u itself means
+	// "no long-range link" (some schemes put probability mass on no link).
+	Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID
+}
+
+// Distributional is implemented by instances that can report the exact
+// per-node contact distribution φ_u.  The returned vector has length N;
+// entry v is Pr{contact of u is v}, and the entry at u itself carries the
+// probability of having no effective long-range link (self contacts and
+// unspent row mass).  The vector always sums to 1 (up to rounding).
+//
+// Every scheme shipped with the package implements Distributional, which is
+// what the exact greedy-diameter dynamic program (internal/exact) and the
+// sampler-vs-distribution tests build on.
+type Distributional interface {
+	Instance
+	// ContactDistribution returns φ_u as a fresh slice of length N.
+	ContactDistribution(u graph.NodeID) []float64
+}
+
+// InstanceFunc adapts a function to the Instance interface.
+type InstanceFunc func(u graph.NodeID, rng *xrand.RNG) graph.NodeID
+
+// Contact implements Instance.
+func (f InstanceFunc) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID { return f(u, rng) }
+
+// Memo memoises contact draws so that, within one routing trial, every node
+// keeps a single consistent long-range contact.  A Memo is not safe for
+// concurrent use; create one per routing trial (they are cheap).
+type Memo struct {
+	inst     Instance
+	contacts map[graph.NodeID]graph.NodeID
+}
+
+// NewMemo wraps an Instance with per-trial memoisation.
+func NewMemo(inst Instance) *Memo {
+	return &Memo{inst: inst, contacts: make(map[graph.NodeID]graph.NodeID, 32)}
+}
+
+// Contact returns the memoised contact of u, drawing it on first use.
+func (m *Memo) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	if c, ok := m.contacts[u]; ok {
+		return c
+	}
+	c := m.inst.Contact(u, rng)
+	m.contacts[u] = c
+	return c
+}
+
+// Reset clears the memo so the wrapper can be reused for a fresh trial.
+func (m *Memo) Reset() {
+	clear(m.contacts)
+}
+
+// Drawn returns the number of distinct nodes whose contact has been drawn.
+func (m *Memo) Drawn() int { return len(m.contacts) }
+
+// SampleAll eagerly draws the long-range contact of every node, returning
+// contacts[u] = long-range contact of u (possibly u itself).  It is used by
+// tests and by experiments that need a full augmentation snapshot.
+func SampleAll(inst Instance, n int, rng *xrand.RNG) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for u := 0; u < n; u++ {
+		out[u] = inst.Contact(graph.NodeID(u), rng)
+	}
+	return out
+}

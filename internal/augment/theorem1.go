@@ -1,0 +1,227 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+
+	"navaug/internal/xrand"
+)
+
+// This file implements the constructive side of Theorem 1: for ANY
+// augmentation matrix A of size n there is a labeling of the n-node path
+// under which greedy routing needs Ω(√n) expected steps.  The proof is a
+// counting argument showing some set I of ⌈√n⌉ labels has total internal
+// probability mass below 1; assigning I to √n consecutive path nodes leaves
+// that segment essentially free of internal shortcuts.
+//
+// AdversarialPathLabeling searches for such a set with a mix of structured
+// candidates (arithmetic progressions, lightest rows) and randomised local
+// search, then lays the labels out on the path.
+
+// AdversarialLabeling is the result of the Theorem 1 construction.
+type AdversarialLabeling struct {
+	// Perm[v] is the 1-based label assigned to path node v (nodes are assumed
+	// to be numbered 0..n-1 along the path).
+	Perm []int
+	// SegmentStart and SegmentEnd delimit (half-open) the block of path
+	// positions carrying the low-mass label set I.
+	SegmentStart, SegmentEnd int
+	// Mass is Σ_{i≠j∈I} P(i,j), guaranteed < 1.
+	Mass float64
+	// Source and Target are the suggested endpoints for routing experiments:
+	// both inside the segment, |segment|/3 apart, per the proof of Theorem 1.
+	Source, Target int
+}
+
+// AdversarialPathLabeling finds a labeling of the n-node path (n = A.K())
+// under which the matrix scheme has Ω(√n) greedy diameter.  It returns an
+// error only if the search fails, which the counting argument guarantees
+// not to happen for reasonable search budgets.
+func AdversarialPathLabeling(a *Matrix, rng *xrand.RNG) (*AdversarialLabeling, error) {
+	n := a.K()
+	if n < 9 {
+		return nil, fmt.Errorf("augment: adversarial labeling needs n >= 9, got %d", n)
+	}
+	s := int(math.Ceil(math.Sqrt(float64(n))))
+	set, mass, ok := findLowMassSet(a, s, rng)
+	if !ok {
+		return nil, fmt.Errorf("augment: no label set of size %d with internal mass < 1 found", s)
+	}
+
+	// Lay out the labels: the segment of s consecutive positions starts at
+	// n/3 (clamped), carrying the labels of I in random order; remaining
+	// labels fill the rest of the path in random order.
+	start := n / 3
+	if start+s > n {
+		start = n - s
+	}
+	inI := make([]bool, n+1)
+	for _, lbl := range set {
+		inI[lbl] = true
+	}
+	others := make([]int, 0, n-s)
+	for lbl := 1; lbl <= n; lbl++ {
+		if !inI[lbl] {
+			others = append(others, lbl)
+		}
+	}
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	shuffledI := append([]int(nil), set...)
+	rng.Shuffle(len(shuffledI), func(i, j int) { shuffledI[i], shuffledI[j] = shuffledI[j], shuffledI[i] })
+
+	perm := make([]int, n)
+	oi := 0
+	ii := 0
+	for v := 0; v < n; v++ {
+		if v >= start && v < start+s {
+			perm[v] = shuffledI[ii]
+			ii++
+		} else {
+			perm[v] = others[oi]
+			oi++
+		}
+	}
+	third := s / 3
+	if third < 1 {
+		third = 1
+	}
+	return &AdversarialLabeling{
+		Perm:         perm,
+		SegmentStart: start,
+		SegmentEnd:   start + s,
+		Mass:         mass,
+		Source:       start + third,
+		Target:       start + 2*third,
+	}, nil
+}
+
+// findLowMassSet looks for a size-s subset of [1,n] whose internal matrix
+// mass is below 1.
+func findLowMassSet(a *Matrix, s int, rng *xrand.RNG) ([]int, float64, bool) {
+	n := a.K()
+	best := []int(nil)
+	bestMass := math.Inf(1)
+	consider := func(set []int) bool {
+		m := a.SubsetMass(set)
+		if m < bestMass {
+			bestMass = m
+			best = append([]int(nil), set...)
+		}
+		return m < 1
+	}
+
+	// Candidate 1: arithmetic progression with spacing n/s (spread labels).
+	if set := arithmeticSet(n, s); consider(set) {
+		return best, bestMass, true
+	}
+	// Candidate 2: the s labels with the lightest row+column mass.
+	if set := lightestSet(a, s); consider(set) {
+		return best, bestMass, true
+	}
+	// Candidate 3: random restarts with greedy swaps.
+	for restart := 0; restart < 30; restart++ {
+		set := randomSet(n, s, rng)
+		for iter := 0; iter < 4*s; iter++ {
+			if consider(set) {
+				return best, bestMass, true
+			}
+			// Swap out the heaviest contributor for a random outside label.
+			worstIdx := heaviestMember(a, set)
+			replacement := 1 + rng.Intn(n)
+			for contains(set, replacement) {
+				replacement = 1 + rng.Intn(n)
+			}
+			set[worstIdx] = replacement
+		}
+		if consider(set) {
+			return best, bestMass, true
+		}
+	}
+	return best, bestMass, bestMass < 1
+}
+
+func arithmeticSet(n, s int) []int {
+	step := n / s
+	if step < 1 {
+		step = 1
+	}
+	set := make([]int, 0, s)
+	for v := 1; v <= n && len(set) < s; v += step {
+		set = append(set, v)
+	}
+	for lbl := 1; lbl <= n && len(set) < s; lbl++ {
+		if !contains(set, lbl) {
+			set = append(set, lbl)
+		}
+	}
+	return set
+}
+
+func lightestSet(a *Matrix, s int) []int {
+	n := a.K()
+	type weighted struct {
+		lbl  int
+		mass float64
+	}
+	ws := make([]weighted, n)
+	for i := 1; i <= n; i++ {
+		total := a.RowSum(i)
+		for j := 1; j <= n; j++ {
+			total += a.P(j, i)
+		}
+		ws[i-1] = weighted{lbl: i, mass: total}
+	}
+	// selection by partial sort
+	for i := 0; i < s; i++ {
+		minIdx := i
+		for j := i + 1; j < n; j++ {
+			if ws[j].mass < ws[minIdx].mass {
+				minIdx = j
+			}
+		}
+		ws[i], ws[minIdx] = ws[minIdx], ws[i]
+	}
+	set := make([]int, s)
+	for i := 0; i < s; i++ {
+		set[i] = ws[i].lbl
+	}
+	return set
+}
+
+func randomSet(n, s int, rng *xrand.RNG) []int {
+	picks := rng.Sample(n, s)
+	set := make([]int, s)
+	for i, p := range picks {
+		set[i] = p + 1
+	}
+	return set
+}
+
+// heaviestMember returns the index in set of the label contributing the most
+// internal mass (its row plus column restricted to the set).
+func heaviestMember(a *Matrix, set []int) int {
+	worst := 0
+	worstMass := -1.0
+	for idx, i := range set {
+		m := 0.0
+		for _, j := range set {
+			if i != j {
+				m += a.P(i, j) + a.P(j, i)
+			}
+		}
+		if m > worstMass {
+			worstMass = m
+			worst = idx
+		}
+	}
+	return worst
+}
+
+func contains(set []int, x int) bool {
+	for _, v := range set {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

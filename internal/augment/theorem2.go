@@ -1,0 +1,184 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+
+	"navaug/internal/decomp"
+	"navaug/internal/graph"
+	"navaug/internal/label"
+	"navaug/internal/xrand"
+)
+
+// Theorem2Scheme is the paper's matrix-based universal scheme (M, L) with
+// M = (A + U) / 2:
+//
+//   - the labeling L comes from a path decomposition of the graph: bags are
+//     numbered 1..b along the path and every node gets the highest-level bag
+//     index among the bags containing it;
+//   - the ancestor matrix A sends, for each ancestor j of the current label
+//     (in the binary level hierarchy), probability 1/(1+log2 n) towards the
+//     nodes labeled j;
+//   - the uniform matrix U sends probability 1/n to every node, which keeps
+//     the O(√n) guarantee on graphs with large pathshape.
+//
+// Greedy routing under (M, L) takes O(min{ps(G)·log² n, √n}) expected steps
+// where ps(G) is the pathshape of the decomposition used.
+//
+// The scheme never materialises the n×n matrix: ancestors are enumerated on
+// the fly and the uniform half is a direct uniform node draw.
+type Theorem2Scheme struct {
+	// Decompose produces the path decomposition the labeling is derived
+	// from.  When nil, decomp.Best with an exact APSP metric is used, which
+	// is only feasible for small graphs; experiments pass the construction
+	// matching the graph family (clique path, centroid, ...).
+	Decompose func(g *graph.Graph) (*decomp.PathDecomposition, error)
+	// AncestorOnly drops the uniform half of M (ablation E10a).  The paper's
+	// analysis needs the uniform half only to preserve the √n fallback.
+	AncestorOnly bool
+	// SchemeName overrides the default name in reports.
+	SchemeName string
+}
+
+// NewTheorem2Scheme returns the (M, L) scheme built on the given path
+// decomposition constructor.
+func NewTheorem2Scheme(decompose func(g *graph.Graph) (*decomp.PathDecomposition, error)) *Theorem2Scheme {
+	return &Theorem2Scheme{Decompose: decompose}
+}
+
+// Name implements Scheme.
+func (s *Theorem2Scheme) Name() string {
+	if s.SchemeName != "" {
+		return s.SchemeName
+	}
+	if s.AncestorOnly {
+		return "theorem2-ancestor-only"
+	}
+	return "theorem2"
+}
+
+type theorem2Instance struct {
+	n            int
+	labels       []int
+	nodesByLabel [][]graph.NodeID
+	maxAncestor  int     // ancestors are restricted to [1, maxAncestor] (= n per the paper)
+	ancProb      float64 // 1 / (1 + log2 n)
+	ancestorOnly bool
+}
+
+// Prepare implements Scheme.
+func (s *Theorem2Scheme) Prepare(g *graph.Graph) (Instance, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("augment: theorem2 scheme needs a non-empty graph")
+	}
+	decompose := s.Decompose
+	if decompose == nil {
+		decompose = func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+			oracle := newSmallAPSP(g)
+			pd, _ := decomp.Best(g, oracle)
+			return pd, nil
+		}
+	}
+	pd, err := decompose(g)
+	if err != nil {
+		return nil, fmt.Errorf("augment: theorem2 decomposition failed: %w", err)
+	}
+	pd = pd.Reduce()
+	lab, err := label.FromPathDecomposition(g, pd)
+	if err != nil {
+		return nil, fmt.Errorf("augment: theorem2 labeling failed: %w", err)
+	}
+	logTerm := math.Log2(float64(n))
+	if logTerm < 1 {
+		logTerm = 1
+	}
+	return &theorem2Instance{
+		n:            n,
+		labels:       lab.Labels,
+		nodesByLabel: lab.NodesByLabel,
+		maxAncestor:  n,
+		ancProb:      1.0 / (1.0 + logTerm),
+		ancestorOnly: s.AncestorOnly,
+	}, nil
+}
+
+// Contact implements Instance.
+func (t *theorem2Instance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	useAncestor := t.ancestorOnly || rng.Bool()
+	if !useAncestor {
+		// Uniform half of M.
+		return graph.NodeID(rng.Intn(t.n))
+	}
+	// Ancestor half: each ancestor j of label(u) within [1, n] receives
+	// probability ancProb; the remaining mass is "no link".
+	anc := label.Ancestors(t.labels[u], t.maxAncestor)
+	if len(anc) == 0 {
+		return u
+	}
+	x := rng.Float64()
+	idx := int(x / t.ancProb)
+	if idx >= len(anc) {
+		return u // leftover mass: no long-range link this time
+	}
+	j := anc[idx]
+	if j >= len(t.nodesByLabel) {
+		return u // ancestor index beyond the number of bags: no node has it
+	}
+	cands := t.nodesByLabel[j]
+	if len(cands) == 0 {
+		return u
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// ContactDistribution implements Distributional.  The distribution is the
+// row of M = (A+U)/2 for label L(u), spread over the nodes carrying each
+// target label: half the mass is uniform over all nodes, and the other half
+// gives each ancestor label j of L(u) probability 1/(1+log2 n) split evenly
+// among the nodes labeled j (unspent ancestor mass stays on u as "no link").
+func (t *theorem2Instance) ContactDistribution(u graph.NodeID) []float64 {
+	dist := make([]float64, t.n)
+	uniformHalf := 0.5
+	ancestorHalf := 0.5
+	if t.ancestorOnly {
+		uniformHalf = 0
+		ancestorHalf = 1
+	}
+	if uniformHalf > 0 {
+		p := uniformHalf / float64(t.n)
+		for v := range dist {
+			dist[v] += p
+		}
+	}
+	spent := 0.0
+	for _, j := range label.Ancestors(t.labels[u], t.maxAncestor) {
+		if j >= len(t.nodesByLabel) {
+			continue
+		}
+		cands := t.nodesByLabel[j]
+		if len(cands) == 0 {
+			continue
+		}
+		p := ancestorHalf * t.ancProb / float64(len(cands))
+		for _, v := range cands {
+			dist[v] += p
+		}
+		spent += ancestorHalf * t.ancProb
+	}
+	// Whatever the ancestor half did not spend is "no link" mass on u.
+	dist[u] += ancestorHalf - spent
+	return dist
+}
+
+// newSmallAPSP returns an exact metric closure usable as a distFn for
+// decomp.Best on small graphs without importing internal/dist (which would
+// be fine dependency-wise but this keeps the hot path self-contained).
+func newSmallAPSP(g *graph.Graph) func(u, v graph.NodeID) int32 {
+	n := g.N()
+	rows := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		rows[u] = g.BFS(graph.NodeID(u))
+	}
+	return func(u, v graph.NodeID) int32 { return rows[u][v] }
+}

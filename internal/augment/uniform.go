@@ -1,0 +1,80 @@
+package augment
+
+import (
+	"fmt"
+
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// UniformScheme is the name-independent uniform augmentation: every node's
+// long-range contact is a uniformly random node.  Peleg observed that it
+// makes every n-node graph O(√n)-navigable; Theorem 1 shows it is optimal
+// among name-independent matrix schemes.
+type UniformScheme struct{}
+
+// NewUniformScheme returns the uniform scheme.
+func NewUniformScheme() UniformScheme { return UniformScheme{} }
+
+// Name implements Scheme.
+func (UniformScheme) Name() string { return "uniform" }
+
+// Prepare implements Scheme.
+func (UniformScheme) Prepare(g *graph.Graph) (Instance, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("augment: uniform scheme needs a non-empty graph")
+	}
+	return &uniformInstance{n: n}, nil
+}
+
+type uniformInstance struct {
+	n int
+}
+
+// Contact implements Instance.
+func (u *uniformInstance) Contact(_ graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	return graph.NodeID(rng.Intn(u.n))
+}
+
+// ContactDistribution implements Distributional: every node is equally
+// likely, including the node itself (which acts as "no link").
+func (u *uniformInstance) ContactDistribution(_ graph.NodeID) []float64 {
+	dist := make([]float64, u.n)
+	p := 1.0 / float64(u.n)
+	for i := range dist {
+		dist[i] = p
+	}
+	return dist
+}
+
+// NoAugmentation is the degenerate scheme with no long-range links at all:
+// greedy routing reduces to shortest-path walking in G, so the expected
+// number of steps equals the distance.  It is the baseline in several
+// experiments.
+type NoAugmentation struct{}
+
+// NewNoAugmentation returns the no-op scheme.
+func NewNoAugmentation() NoAugmentation { return NoAugmentation{} }
+
+// Name implements Scheme.
+func (NoAugmentation) Name() string { return "none" }
+
+// Prepare implements Scheme.
+func (NoAugmentation) Prepare(g *graph.Graph) (Instance, error) {
+	return &noAugmentationInstance{n: g.N()}, nil
+}
+
+type noAugmentationInstance struct {
+	n int
+}
+
+// Contact implements Instance: the node itself, i.e. no long-range link.
+func (*noAugmentationInstance) Contact(u graph.NodeID, _ *xrand.RNG) graph.NodeID { return u }
+
+// ContactDistribution implements Distributional.
+func (i *noAugmentationInstance) ContactDistribution(u graph.NodeID) []float64 {
+	dist := make([]float64, i.n)
+	dist[u] = 1
+	return dist
+}

@@ -1,0 +1,233 @@
+// Package core is the high-level façade of the library: it ties together
+// graphs, augmentation schemes, greedy routing and the Monte Carlo engine
+// behind a small API that the examples and command-line tools use.
+//
+// The three central operations are:
+//
+//   - Augment: bind a Scheme to a Graph, obtaining an AugmentedGraph;
+//   - AugmentedGraph.Route: run one greedy routing trial between two nodes;
+//   - AugmentedGraph.EstimateGreedyDiameter: Monte Carlo estimate of
+//     diam(G, φ), the quantity all of the paper's theorems bound.
+//
+// The package also exposes a registry of the paper's schemes by name and a
+// registry of graph families by name so tools can be driven from strings.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"navaug/internal/augment"
+	"navaug/internal/decomp"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/route"
+	"navaug/internal/sim"
+	"navaug/internal/xrand"
+)
+
+// AugmentedGraph is a graph together with a prepared augmentation scheme —
+// the pair (G, φ) of the paper.
+type AugmentedGraph struct {
+	g      *graph.Graph
+	scheme augment.Scheme
+	inst   augment.Instance
+}
+
+// Augment prepares scheme on g and returns the augmented graph.
+func Augment(g *graph.Graph, scheme augment.Scheme) (*AugmentedGraph, error) {
+	inst, err := scheme.Prepare(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing %s on %v: %w", scheme.Name(), g, err)
+	}
+	return &AugmentedGraph{g: g, scheme: scheme, inst: inst}, nil
+}
+
+// Graph returns the underlying graph.
+func (a *AugmentedGraph) Graph() *graph.Graph { return a.g }
+
+// SchemeName returns the name of the augmentation scheme in use.
+func (a *AugmentedGraph) SchemeName() string { return a.scheme.Name() }
+
+// Instance exposes the prepared augmentation instance (for advanced use such
+// as eagerly sampling a full set of long-range links).
+func (a *AugmentedGraph) Instance() augment.Instance { return a.inst }
+
+// Route runs one greedy routing trial from s to t with a fresh draw of the
+// long-range links along the way, returning the route result (with trace).
+func (a *AugmentedGraph) Route(s, t graph.NodeID, seed uint64) (route.Result, error) {
+	distToTarget := a.g.BFS(t)
+	rng := xrand.New(seed)
+	return route.Greedy(a.g, a.inst, s, t, distToTarget, rng, route.Options{Trace: true})
+}
+
+// EstimateGreedyDiameter estimates diam(G, φ) by Monte Carlo sampling.
+func (a *AugmentedGraph) EstimateGreedyDiameter(cfg sim.Config) (*sim.Estimate, error) {
+	return sim.EstimateGreedyDiameter(a.g, a.scheme, cfg)
+}
+
+// SchemeByName instantiates one of the paper's schemes from a string
+// identifier.  Recognised names:
+//
+//	none            no augmentation (baseline)
+//	uniform         uniform scheme (Peleg, Theorem 1 upper bound)
+//	ball            Theorem 4 ball scheme (the Õ(n^{1/3}) construction)
+//	harmonic:<r>    distance-harmonic scheme with exponent r (Kleinberg baseline)
+//	theorem2        Theorem 2 (M, L) scheme with automatic decomposition choice
+//	theorem2-tree   Theorem 2 scheme wired to the centroid tree decomposition
+//	theorem2-bfs    Theorem 2 scheme wired to the BFS-layer decomposition
+func SchemeByName(name string) (augment.Scheme, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case lower == "none":
+		return augment.NewNoAugmentation(), nil
+	case lower == "uniform":
+		return augment.NewUniformScheme(), nil
+	case lower == "ball":
+		return augment.NewBallScheme(), nil
+	case lower == "theorem2":
+		return augment.NewTheorem2Scheme(nil), nil
+	case lower == "theorem2-tree":
+		return augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+			return decomp.TreeCentroid(g)
+		}), nil
+	case lower == "theorem2-bfs":
+		return augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+			return decomp.BFSLayers(g, 0)
+		}), nil
+	case strings.HasPrefix(lower, "harmonic:"):
+		var r float64
+		if _, err := fmt.Sscanf(lower, "harmonic:%g", &r); err != nil {
+			return nil, fmt.Errorf("core: bad harmonic exponent in %q", name)
+		}
+		return augment.NewHarmonicScheme(r), nil
+	case lower == "harmonic":
+		return augment.NewHarmonicScheme(1), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q (known: %s)", name, strings.Join(SchemeNames(), ", "))
+	}
+}
+
+// SchemeNames lists the scheme identifiers understood by SchemeByName.
+func SchemeNames() []string {
+	return []string{"none", "uniform", "ball", "harmonic:<r>", "theorem2", "theorem2-tree", "theorem2-bfs"}
+}
+
+// GraphByName builds a graph of a named family at (approximately) the given
+// size.  Recognised families:
+//
+//	path, cycle, grid, grid3d, torus, hypercube, complete, star,
+//	binary-tree, balanced-tree, random-tree, caterpillar, spider, comb,
+//	interval, gnp, regular, watts-strogatz, lollipop, barbell
+func GraphByName(family string, n int, seed uint64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: graph size must be >= 1, got %d", n)
+	}
+	rng := xrand.New(seed)
+	switch strings.ToLower(strings.TrimSpace(family)) {
+	case "path":
+		return gen.Path(n), nil
+	case "cycle":
+		return gen.Cycle(maxInt(n, 3)), nil
+	case "grid":
+		side := intSqrt(n)
+		return gen.Grid2D(side, side), nil
+	case "grid3d":
+		side := intCbrt(n)
+		return gen.Grid3D(side, side, side), nil
+	case "torus":
+		side := maxInt(intSqrt(n), 3)
+		return gen.Torus2D(side, side), nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return gen.Hypercube(d), nil
+	case "complete":
+		return gen.Complete(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "binary-tree", "bintree":
+		return gen.BinaryTree(n), nil
+	case "balanced-tree":
+		depth := 0
+		for count := 1; count < n; count = count*3 + 1 {
+			depth++
+		}
+		return gen.BalancedTree(3, depth), nil
+	case "random-tree", "rtree":
+		return gen.RandomTree(n, rng), nil
+	case "caterpillar":
+		spine := maxInt(n/4, 1)
+		return gen.Caterpillar(spine, 3), nil
+	case "spider":
+		legLen := maxInt((n-1)/8, 1)
+		return gen.Spider(8, legLen), nil
+	case "comb":
+		spine := maxInt(n/4, 1)
+		return gen.Comb(spine, 3), nil
+	case "interval":
+		g, _ := gen.RandomIntervalGraph(n, 3.0, rng)
+		return g, nil
+	case "gnp":
+		return gen.ConnectedGNP(n, 3.0/float64(n), rng), nil
+	case "regular":
+		d := 4
+		if n <= d {
+			d = maxInt(n-1, 1)
+		}
+		if n*d%2 != 0 {
+			d++
+		}
+		return gen.RandomRegular(n, d, rng)
+	case "watts-strogatz", "ws":
+		if n < 5 {
+			return nil, fmt.Errorf("core: watts-strogatz needs n >= 5")
+		}
+		return gen.WattsStrogatz(n, 2, 0.1, rng), nil
+	case "lollipop":
+		clique := maxInt(intSqrt(n), 2)
+		return gen.Lollipop(clique, n-clique), nil
+	case "barbell":
+		clique := maxInt(intSqrt(n), 2)
+		return gen.Barbell(clique, maxInt(n-2*clique, 0)), nil
+	default:
+		return nil, fmt.Errorf("core: unknown graph family %q (known: %s)", family, strings.Join(GraphFamilies(), ", "))
+	}
+}
+
+// GraphFamilies lists the family names understood by GraphByName.
+func GraphFamilies() []string {
+	fams := []string{
+		"path", "cycle", "grid", "grid3d", "torus", "hypercube", "complete", "star",
+		"binary-tree", "balanced-tree", "random-tree", "caterpillar", "spider", "comb",
+		"interval", "gnp", "regular", "watts-strogatz", "lollipop", "barbell",
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func intCbrt(n int) int {
+	s := 1
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+)
+
+// This file contains the concrete path-decomposition constructions used by
+// the Theorem 2 experiments:
+//
+//   - SingleBag: the trivial decomposition (shape ≤ min(n-1, diam)).
+//   - OfPathGraph: the natural width-1 decomposition of a path.
+//   - IntervalCliquePath: the clique path of an interval graph, which has
+//     length ≤ 1 and therefore shape ≤ 1 (the AT-free corollary).
+//   - TreeCentroid: a recursive centroid construction giving width (and thus
+//     shape) at most ~log2(n) on any tree.
+//   - BFSLayers: the generic fallback for arbitrary graphs (bags are unions
+//     of two consecutive BFS layers).
+//   - Best: picks the smallest-shape decomposition among the applicable
+//     constructions, which is how experiments obtain a pathshape upper bound.
+
+// SingleBag returns the trivial decomposition with one bag holding all
+// nodes.
+func SingleBag(g *graph.Graph) *PathDecomposition {
+	bag := make([]graph.NodeID, g.N())
+	for i := range bag {
+		bag[i] = graph.NodeID(i)
+	}
+	return &PathDecomposition{Bags: [][]graph.NodeID{bag}}
+}
+
+// OfPathGraph returns the width-1 decomposition of a graph that is a simple
+// path: bags {v_i, v_{i+1}} along the path order.  It returns an error if g
+// is not a path.
+func OfPathGraph(g *graph.Graph) (*PathDecomposition, error) {
+	n := g.N()
+	if n == 0 {
+		return &PathDecomposition{}, nil
+	}
+	if n == 1 {
+		return &PathDecomposition{Bags: [][]graph.NodeID{{0}}}, nil
+	}
+	if g.M() != n-1 || !g.IsConnected() || g.MaxDegree() > 2 {
+		return nil, fmt.Errorf("decomp: graph %v is not a path", g)
+	}
+	// Find an endpoint and walk.
+	var start graph.NodeID = -1
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		if g.Degree(u) == 1 {
+			start = u
+			break
+		}
+	}
+	if start == -1 {
+		return nil, fmt.Errorf("decomp: graph %v has no degree-1 endpoint", g)
+	}
+	order := make([]graph.NodeID, 0, n)
+	prev := graph.NodeID(-1)
+	cur := start
+	for {
+		order = append(order, cur)
+		next := graph.NodeID(-1)
+		for _, v := range g.Neighbors(cur) {
+			if v != prev {
+				next = v
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("decomp: path walk covered %d of %d nodes", len(order), n)
+	}
+	bags := make([][]graph.NodeID, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		bags = append(bags, []graph.NodeID{order[i], order[i+1]})
+	}
+	return NewPathDecomposition(bags), nil
+}
+
+// IntervalCliquePath builds the clique-path decomposition of an interval
+// graph from its interval model.  Bag i (in order of left endpoints) is the
+// set of intervals containing the left endpoint of the i-th interval, so
+// every bag is a clique and the decomposition has length ≤ 1.
+func IntervalCliquePath(model gen.IntervalModel) *PathDecomposition {
+	n := len(model)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return model[order[a]].Lo < model[order[b]].Lo })
+	bags := make([][]graph.NodeID, 0, n)
+	// Sweep by left endpoint keeping the set of intervals that are still
+	// "open" (their right endpoint has not been passed), so the total work is
+	// proportional to the sum of bag sizes rather than n².
+	active := make([]int, 0, 8)
+	for _, v := range order {
+		point := model[v].Lo
+		keep := active[:0]
+		bag := make([]graph.NodeID, 0, 8)
+		for _, u := range active {
+			if model[u].Hi >= point {
+				keep = append(keep, u)
+				bag = append(bag, graph.NodeID(u))
+			}
+		}
+		active = append(keep, v)
+		bag = append(bag, graph.NodeID(v))
+		bags = append(bags, bag)
+	}
+	return NewPathDecomposition(bags).Reduce()
+}
+
+// TreeCentroid builds a path decomposition of a tree with width at most
+// about log2(n): it finds a centroid, recursively decomposes each remaining
+// component, concatenates those decompositions and adds the centroid to
+// every bag.  It returns an error if g is not a tree.
+func TreeCentroid(g *graph.Graph) (*PathDecomposition, error) {
+	n := g.N()
+	if n == 0 {
+		return &PathDecomposition{}, nil
+	}
+	if g.M() != n-1 || !g.IsConnected() {
+		return nil, fmt.Errorf("decomp: graph %v is not a tree", g)
+	}
+	all := make([]graph.NodeID, n)
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	bags := centroidBags(g, all)
+	if len(bags) == 0 {
+		bags = [][]graph.NodeID{{0}}
+	}
+	return NewPathDecomposition(bags).Reduce(), nil
+}
+
+// centroidBags recursively decomposes the subtree induced by nodes (which
+// must induce a connected subtree of g) and returns its bags.
+func centroidBags(g *graph.Graph, nodes []graph.NodeID) [][]graph.NodeID {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) == 1 {
+		return [][]graph.NodeID{{nodes[0]}}
+	}
+	inSet := make(map[graph.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	c := centroid(g, nodes, inSet)
+	// Split into components of nodes \ {c}.
+	delete(inSet, c)
+	var comps [][]graph.NodeID
+	visited := make(map[graph.NodeID]bool, len(nodes))
+	for _, root := range g.Neighbors(c) {
+		if !inSet[root] || visited[root] {
+			continue
+		}
+		comp := []graph.NodeID{root}
+		visited[root] = true
+		for head := 0; head < len(comp); head++ {
+			u := comp[head]
+			for _, v := range g.Neighbors(u) {
+				if inSet[v] && !visited[v] {
+					visited[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	var bags [][]graph.NodeID
+	for _, comp := range comps {
+		for _, bag := range centroidBags(g, comp) {
+			bags = append(bags, append(bag, c))
+		}
+	}
+	if len(bags) == 0 {
+		bags = [][]graph.NodeID{{c}}
+	}
+	return bags
+}
+
+// centroid returns a node of the induced subtree whose removal leaves
+// components of size at most len(nodes)/2.
+func centroid(g *graph.Graph, nodes []graph.NodeID, inSet map[graph.NodeID]bool) graph.NodeID {
+	total := len(nodes)
+	root := nodes[0]
+	// Iterative post-order subtree size computation over the induced subtree.
+	size := make(map[graph.NodeID]int, total)
+	parent := make(map[graph.NodeID]graph.NodeID, total)
+	order := make([]graph.NodeID, 0, total)
+	stack := []graph.NodeID{root}
+	parent[root] = -1
+	seen := map[graph.NodeID]bool{root: true}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if inSet[v] && !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		size[u]++
+		if p := parent[u]; p != -1 {
+			size[p] += size[u]
+		}
+	}
+	// The centroid is the node where the largest component after removal is
+	// minimal; walking down from the root towards the heaviest child finds it.
+	best := root
+	bestWorst := total
+	for _, u := range order {
+		worst := total - size[u] // the component containing the parent side
+		for _, v := range g.Neighbors(u) {
+			if inSet[v] && parent[v] == u && size[v] > worst {
+				worst = size[v]
+			}
+		}
+		if worst < bestWorst {
+			bestWorst = worst
+			best = u
+		}
+	}
+	return best
+}
+
+// BFSLayers builds the generic path decomposition whose i-th bag is the
+// union of BFS layers i and i+1 from the given root.  Every edge of a graph
+// joins nodes in the same or adjacent layers, so this is always a valid path
+// decomposition.  Width is governed by the largest pair of adjacent layers.
+func BFSLayers(g *graph.Graph, root graph.NodeID) (*PathDecomposition, error) {
+	if g.N() == 0 {
+		return &PathDecomposition{}, nil
+	}
+	dist := g.BFS(root)
+	maxD := int32(0)
+	for _, d := range dist {
+		if d == graph.Unreachable {
+			return nil, fmt.Errorf("decomp: BFSLayers requires a connected graph")
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	layers := make([][]graph.NodeID, maxD+1)
+	for v, d := range dist {
+		layers[d] = append(layers[d], graph.NodeID(v))
+	}
+	if maxD == 0 {
+		return NewPathDecomposition([][]graph.NodeID{layers[0]}), nil
+	}
+	bags := make([][]graph.NodeID, 0, maxD)
+	for i := int32(0); i < maxD; i++ {
+		bag := append(append([]graph.NodeID(nil), layers[i]...), layers[i+1]...)
+		bags = append(bags, bag)
+	}
+	return NewPathDecomposition(bags).Reduce(), nil
+}
+
+// Best returns the decomposition of smallest shape among the constructions
+// that apply to g, together with that shape value.  The distFn is used to
+// evaluate bag lengths.  Best always succeeds on connected graphs because
+// BFSLayers and SingleBag always apply.
+func Best(g *graph.Graph, distFn func(u, v graph.NodeID) int32) (*PathDecomposition, int) {
+	type candidate struct {
+		pd  *PathDecomposition
+		err error
+	}
+	var cands []candidate
+	if pd, err := OfPathGraph(g); err == nil {
+		cands = append(cands, candidate{pd: pd})
+	}
+	if pd, err := TreeCentroid(g); err == nil {
+		cands = append(cands, candidate{pd: pd})
+	}
+	if pd, err := BFSLayers(g, 0); err == nil {
+		cands = append(cands, candidate{pd: pd})
+	}
+	cands = append(cands, candidate{pd: SingleBag(g)})
+
+	bestShape := -1
+	var bestPD *PathDecomposition
+	for _, c := range cands {
+		if c.pd == nil || c.pd.B() == 0 {
+			continue
+		}
+		s := c.pd.Shape(distFn, g.N())
+		if bestShape == -1 || s < bestShape {
+			bestShape = s
+			bestPD = c.pd
+		}
+	}
+	return bestPD, bestShape
+}

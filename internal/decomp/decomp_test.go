@@ -1,0 +1,390 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/xrand"
+)
+
+func distFn(g *graph.Graph) func(u, v graph.NodeID) int32 {
+	a := dist.NewAPSP(g)
+	return a.Dist
+}
+
+func TestValidateAcceptsHandDecomposition(t *testing.T) {
+	g := gen.Path(4)
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Width() != 1 {
+		t.Fatalf("width %d, want 1", pd.Width())
+	}
+}
+
+func TestValidateRejectsMissingNode(t *testing.T) {
+	g := gen.Path(4)
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2}})
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("missing node accepted")
+	}
+}
+
+func TestValidateRejectsMissingEdge(t *testing.T) {
+	g := gen.Cycle(4)
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+}
+
+func TestValidateRejectsNonContiguous(t *testing.T) {
+	g := gen.Path(3)
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {0, 2}})
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("non-contiguous occurrence accepted")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	g := gen.Path(3)
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2, 7}})
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestWidthLengthShape(t *testing.T) {
+	g := gen.Path(6)
+	d := distFn(g)
+	// One big bag: width 5, length 5 (it spans the whole path), shape 5.
+	single := SingleBag(g)
+	if single.Width() != 5 {
+		t.Fatalf("single bag width %d", single.Width())
+	}
+	if single.Length(d, g.N()) != 5 {
+		t.Fatalf("single bag length %d", single.Length(d, g.N()))
+	}
+	if single.Shape(d, g.N()) != 5 {
+		t.Fatalf("single bag shape %d", single.Shape(d, g.N()))
+	}
+	// Natural decomposition: width 1, length 1, shape 1.
+	pd, err := OfPathGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Width() != 1 || pd.Length(d, g.N()) != 1 || pd.Shape(d, g.N()) != 1 {
+		t.Fatalf("path decomposition w=%d l=%d s=%d", pd.Width(), pd.Length(d, g.N()), pd.Shape(d, g.N()))
+	}
+}
+
+func TestShapeIsMinOfWidthAndLength(t *testing.T) {
+	// A clique bag has width n-1 but length 1, so shape must be 1.
+	g := gen.Complete(6)
+	d := distFn(g)
+	pd := SingleBag(g)
+	if pd.Shape(d, g.N()) != 1 {
+		t.Fatalf("clique bag shape %d, want 1", pd.Shape(d, g.N()))
+	}
+}
+
+func TestBagLengthUnreachable(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).Build()
+	d := distFn(g)
+	l := BagLength([]graph.NodeID{0, 2}, d, g.N())
+	if l != g.N() {
+		t.Fatalf("unreachable pair length %d, want %d", l, g.N())
+	}
+}
+
+func TestReduceRemovesContainedBags(t *testing.T) {
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1}, {1, 2}, {1, 2, 3}, {2, 3}})
+	r := pd.Reduce()
+	if r.B() != 2 {
+		t.Fatalf("reduced to %d bags, want 2", r.B())
+	}
+	g := gen.Path(4)
+	if err := r.Validate(g); err != nil {
+		t.Fatalf("reduced decomposition invalid: %v", err)
+	}
+}
+
+func TestReducePreservesValidity(t *testing.T) {
+	rng := xrand.New(5)
+	check := func(raw uint16) bool {
+		n := 2 + int(raw%50)
+		g := gen.RandomTree(n, rng)
+		pd, err := TreeCentroid(g)
+		if err != nil {
+			return false
+		}
+		return pd.Reduce().Validate(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeIntervals(t *testing.T) {
+	pd := NewPathDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	first, last := pd.NodeIntervals(4)
+	if first[1] != 0 || last[1] != 1 {
+		t.Fatalf("node 1 interval [%d,%d]", first[1], last[1])
+	}
+	if first[3] != 2 || last[3] != 2 {
+		t.Fatalf("node 3 interval [%d,%d]", first[3], last[3])
+	}
+}
+
+func TestOfPathGraph(t *testing.T) {
+	g := gen.Path(20)
+	pd, err := OfPathGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Width() != 1 {
+		t.Fatalf("path width %d", pd.Width())
+	}
+	if pd.B() != 19 {
+		t.Fatalf("path decomposition has %d bags", pd.B())
+	}
+}
+
+func TestOfPathGraphRejectsNonPath(t *testing.T) {
+	if _, err := OfPathGraph(gen.Cycle(5)); err == nil {
+		t.Fatal("cycle accepted as path")
+	}
+	if _, err := OfPathGraph(gen.Star(5)); err == nil {
+		t.Fatal("star accepted as path")
+	}
+}
+
+func TestOfPathGraphTinyCases(t *testing.T) {
+	pd, err := OfPathGraph(gen.Path(1))
+	if err != nil || pd.B() != 1 {
+		t.Fatalf("Path(1): %v, %d bags", err, pd.B())
+	}
+	pd, err = OfPathGraph(gen.Path(2))
+	if err != nil || pd.Width() != 1 {
+		t.Fatalf("Path(2): %v width %d", err, pd.Width())
+	}
+}
+
+func TestIntervalCliquePath(t *testing.T) {
+	rng := xrand.New(7)
+	for _, n := range []int{5, 50, 300} {
+		g, model := gen.RandomIntervalGraph(n, 3.0, rng)
+		pd := IntervalCliquePath(model)
+		if err := pd.Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		d := distFn(g)
+		if s := pd.Shape(d, g.N()); s > 1 {
+			t.Fatalf("interval clique path shape %d, want <= 1", s)
+		}
+	}
+}
+
+func TestIntervalCliquePathOnUnitIntervals(t *testing.T) {
+	g, model := gen.UnitIntervalPath(100, 4)
+	pd := IntervalCliquePath(model)
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Length(distFn(g), g.N()) > 1 {
+		t.Fatal("clique path bags should have length <= 1")
+	}
+}
+
+func TestTreeCentroidValidAndLogWidth(t *testing.T) {
+	rng := xrand.New(11)
+	for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+		g := gen.RandomTree(n, rng)
+		pd, err := TreeCentroid(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pd.Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		bound := 1
+		for s := 1; s < n; s *= 2 {
+			bound++
+		}
+		if pd.Width() > bound+1 {
+			t.Fatalf("n=%d: centroid width %d exceeds log bound %d", n, pd.Width(), bound+1)
+		}
+	}
+}
+
+func TestTreeCentroidOnPathHasLogWidth(t *testing.T) {
+	g := gen.Path(1024)
+	pd, err := TreeCentroid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Width() > 12 {
+		t.Fatalf("centroid width on P_1024 is %d, want <= 12", pd.Width())
+	}
+}
+
+func TestTreeCentroidRejectsNonTree(t *testing.T) {
+	if _, err := TreeCentroid(gen.Cycle(5)); err == nil {
+		t.Fatal("cycle accepted as tree")
+	}
+}
+
+func TestBFSLayersValid(t *testing.T) {
+	rng := xrand.New(13)
+	graphs := []*graph.Graph{
+		gen.Grid2D(8, 8),
+		gen.Cycle(20),
+		gen.ConnectedGNP(100, 0.05, rng),
+		gen.Hypercube(6),
+	}
+	for _, g := range graphs {
+		pd, err := BFSLayers(g, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if err := pd.Validate(g); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestBFSLayersRejectsDisconnected(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).Build()
+	if _, err := BFSLayers(g, 0); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestBFSLayersSingleNode(t *testing.T) {
+	g := gen.Path(1)
+	pd, err := BFSLayers(g, 0)
+	if err != nil || pd.B() != 1 {
+		t.Fatalf("single node: %v, %d bags", err, pd.B())
+	}
+}
+
+func TestBestPicksGoodDecomposition(t *testing.T) {
+	// On a path, Best should find shape 1 (via the path decomposition).
+	g := gen.Path(50)
+	d := distFn(g)
+	pd, shape := Best(g, d)
+	if shape > 1 {
+		t.Fatalf("Best shape on path = %d", shape)
+	}
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// On a complete graph, the single bag has shape 1.
+	k := gen.Complete(10)
+	_, shapeK := Best(k, distFn(k))
+	if shapeK > 1 {
+		t.Fatalf("Best shape on clique = %d", shapeK)
+	}
+	// On a balanced tree, shape should be logarithmic (centroid construction).
+	tr := gen.BalancedTree(2, 9) // 1023 nodes
+	_, shapeT := Best(tr, distFn(tr))
+	if shapeT > 12 {
+		t.Fatalf("Best shape on tree = %d", shapeT)
+	}
+}
+
+func TestExactPathwidthKnownValues(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{gen.Path(6), 1},
+		{gen.Cycle(6), 2},
+		{gen.Complete(5), 4},
+		{gen.Star(6), 1},
+		{gen.Grid2D(3, 3), 3},
+		{gen.Path(1), 0},
+	}
+	for _, c := range cases {
+		got, err := ExactPathwidth(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("%v: exact pathwidth %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func TestExactPathwidthRejectsLargeGraphs(t *testing.T) {
+	if _, err := ExactPathwidth(gen.Path(40)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestExactDecompositionMatchesExactWidth(t *testing.T) {
+	rng := xrand.New(17)
+	check := func(raw uint16) bool {
+		n := 2 + int(raw%10)
+		g := gen.ConnectedGNP(n, 0.4, rng)
+		pw, err := ExactPathwidth(g)
+		if err != nil {
+			return false
+		}
+		pd, pw2, err := ExactPathwidthDecomposition(g)
+		if err != nil {
+			return false
+		}
+		if pw != pw2 {
+			return false
+		}
+		if pd.Validate(g) != nil {
+			return false
+		}
+		return pd.Width() == pw
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidDecompositionNearOptimalOnSmallTrees(t *testing.T) {
+	rng := xrand.New(19)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(12)
+		g := gen.RandomTree(n, rng)
+		exact, err := ExactPathwidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := TreeCentroid(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The centroid construction is within a log factor; on tiny trees it
+		// should never exceed exact + 3.
+		if pd.Width() > exact+3 {
+			t.Fatalf("n=%d centroid width %d vs exact %d", n, pd.Width(), exact)
+		}
+	}
+}
+
+func TestShapeNeverBelowExactForPath(t *testing.T) {
+	// pathshape of a path is 1 (width-1 decomposition); sanity check Best
+	// never reports 0 for graphs with at least one edge.
+	g := gen.Path(10)
+	_, shape := Best(g, distFn(g))
+	if shape < 1 {
+		t.Fatalf("shape %d below 1 on a graph with edges", shape)
+	}
+}

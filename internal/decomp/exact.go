@@ -1,0 +1,170 @@
+package decomp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"navaug/internal/graph"
+)
+
+// This file implements exact pathwidth for small graphs via the vertex
+// separation number, which equals pathwidth.  The dynamic program runs over
+// all 2^n vertex subsets, so it is restricted to n <= MaxExactNodes.  Tests
+// use it to certify that the constructive decompositions are close to
+// optimal on small instances.
+
+// MaxExactNodes bounds the graph size accepted by ExactPathwidth.
+const MaxExactNodes = 22
+
+// ExactPathwidth computes the pathwidth of g exactly via the vertex
+// separation DP.  It returns an error when g has more than MaxExactNodes
+// nodes.
+func ExactPathwidth(g *graph.Graph) (int, error) {
+	n := g.N()
+	if n > MaxExactNodes {
+		return 0, fmt.Errorf("decomp: ExactPathwidth limited to %d nodes, got %d", MaxExactNodes, n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	// neighbour bitmasks
+	nbr := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			nbr[u] |= 1 << uint(v)
+		}
+	}
+	full := uint32(1)<<uint(n) - 1
+	// dp[S] = minimal achievable maximum boundary over orderings whose prefix
+	// is exactly S; boundary(S) = |{v in S : v has a neighbour outside S}|.
+	const inf = int32(1 << 30)
+	dp := make([]int32, full+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	boundary := func(S uint32) int32 {
+		cnt := int32(0)
+		rest := S
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			if nbr[v]&^S != 0 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	for S := uint32(1); S <= full; S++ {
+		b := boundary(S)
+		best := inf
+		rest := S
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			prev := dp[S&^(1<<uint(v))]
+			if prev < best {
+				best = prev
+			}
+		}
+		if b > best {
+			best = b
+		}
+		dp[S] = best
+	}
+	return int(dp[full]), nil
+}
+
+// ExactPathwidthDecomposition returns an optimal-width path decomposition
+// for small graphs by recovering an optimal vertex ordering from the DP and
+// converting it into bags.  Bag i contains vertex v_i plus all earlier
+// vertices that still have a neighbour among v_i..v_{n-1}.
+func ExactPathwidthDecomposition(g *graph.Graph) (*PathDecomposition, int, error) {
+	n := g.N()
+	if n > MaxExactNodes {
+		return nil, 0, fmt.Errorf("decomp: ExactPathwidthDecomposition limited to %d nodes, got %d", MaxExactNodes, n)
+	}
+	if n == 0 {
+		return &PathDecomposition{}, 0, nil
+	}
+	nbr := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			nbr[u] |= 1 << uint(v)
+		}
+	}
+	full := uint32(1)<<uint(n) - 1
+	const inf = int32(1 << 30)
+	dp := make([]int32, full+1)
+	choice := make([]int8, full+1)
+	for i := range dp {
+		dp[i] = inf
+		choice[i] = -1
+	}
+	dp[0] = 0
+	boundary := func(S uint32) int32 {
+		cnt := int32(0)
+		rest := S
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			if nbr[v]&^S != 0 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	for S := uint32(1); S <= full; S++ {
+		b := boundary(S)
+		best := inf
+		bestV := int8(-1)
+		rest := S
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			prev := dp[S&^(1<<uint(v))]
+			if prev < best {
+				best = prev
+				bestV = int8(v)
+			}
+		}
+		if b > best {
+			best = b
+		}
+		dp[S] = best
+		choice[S] = bestV
+	}
+	// Recover the ordering by walking back from the full set.
+	order := make([]graph.NodeID, 0, n)
+	S := full
+	for S != 0 {
+		v := choice[S]
+		order = append(order, graph.NodeID(v))
+		S &^= 1 << uint(v)
+	}
+	// order currently lists vertices last-to-first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	// Convert ordering to bags.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	bags := make([][]graph.NodeID, n)
+	for i, v := range order {
+		bag := []graph.NodeID{v}
+		for _, u := range order[:i] {
+			// u stays active if it has a neighbour not yet placed (position >= i).
+			for _, w := range g.Neighbors(u) {
+				if pos[w] >= i {
+					bag = append(bag, u)
+					break
+				}
+			}
+		}
+		bags[i] = bag
+	}
+	pd := NewPathDecomposition(bags).Reduce()
+	return pd, int(dp[full]), nil
+}

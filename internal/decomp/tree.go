@@ -1,0 +1,303 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"navaug/internal/graph"
+)
+
+// This file implements tree decompositions and the paper's treeshape
+// parameter ts(G) (Definition 2 applies the shape measure to both tree and
+// path decompositions).  Path decompositions are what Theorem 2 consumes,
+// but treeshape is the natural companion notion and the conversion
+// TreeDecomposition.ToPathDecomposition documents the ps(G) ≤ (ts(G)+1)·O(log n)
+// style relationships the paper's corollaries rest on.
+
+// TreeDecomposition is a tree of bags over the nodes of a graph.  The tree
+// is stored as a parent forest over bag indices: Parent[i] == -1 marks a
+// root.  Bags are sorted slices of node ids.
+type TreeDecomposition struct {
+	Bags   [][]graph.NodeID
+	Parent []int
+}
+
+// NewTreeDecomposition copies, sorts and deduplicates the given bags and
+// parent pointers.
+func NewTreeDecomposition(bags [][]graph.NodeID, parent []int) (*TreeDecomposition, error) {
+	if len(bags) != len(parent) {
+		return nil, fmt.Errorf("decomp: %d bags but %d parent pointers", len(bags), len(parent))
+	}
+	td := &TreeDecomposition{Bags: make([][]graph.NodeID, len(bags)), Parent: append([]int(nil), parent...)}
+	for i, bag := range bags {
+		cp := append([]graph.NodeID(nil), bag...)
+		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		out := cp[:0]
+		for j, v := range cp {
+			if j == 0 || v != cp[j-1] {
+				out = append(out, v)
+			}
+		}
+		td.Bags[i] = out
+	}
+	for i, p := range parent {
+		if p < -1 || p >= len(bags) || p == i {
+			return nil, fmt.Errorf("decomp: bag %d has invalid parent %d", i, p)
+		}
+	}
+	return td, nil
+}
+
+// B returns the number of bags.
+func (td *TreeDecomposition) B() int { return len(td.Bags) }
+
+// Validate checks the tree-decomposition conditions against g: the parent
+// pointers form a single tree (or forest whose every tree is trivially
+// acceptable only when the graph is disconnected), every node and edge is
+// covered, and every node's bags induce a connected subtree.
+func (td *TreeDecomposition) Validate(g *graph.Graph) error {
+	b := td.B()
+	if b == 0 {
+		if g.N() == 0 {
+			return nil
+		}
+		return fmt.Errorf("decomp: no bags for a non-empty graph")
+	}
+	// Acyclicity / reachability of the parent forest.
+	for i := range td.Parent {
+		seen := map[int]bool{}
+		for j := i; j != -1; j = td.Parent[j] {
+			if seen[j] {
+				return fmt.Errorf("decomp: parent pointers contain a cycle through bag %d", j)
+			}
+			seen[j] = true
+		}
+	}
+	// Node coverage and subtree connectivity.
+	n := g.N()
+	bagsOf := make([][]int, n)
+	for i, bag := range td.Bags {
+		for _, v := range bag {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("decomp: bag %d contains out-of-range node %d", i, v)
+			}
+			bagsOf[v] = append(bagsOf[v], i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(bagsOf[v]) == 0 {
+			return fmt.Errorf("decomp: node %d appears in no bag", v)
+		}
+		if !inducesSubtree(td, bagsOf[v]) {
+			return fmt.Errorf("decomp: bags containing node %d do not induce a subtree", v)
+		}
+	}
+	// Edge coverage.
+	for _, e := range g.Edges() {
+		if !shareBag(bagsOf[e.U], bagsOf[e.V]) {
+			return fmt.Errorf("decomp: edge (%d,%d) not covered by any bag", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// inducesSubtree reports whether the given bag indices form a connected
+// subtree of the decomposition tree.
+func inducesSubtree(td *TreeDecomposition, bags []int) bool {
+	if len(bags) <= 1 {
+		return true
+	}
+	inSet := make(map[int]bool, len(bags))
+	for _, i := range bags {
+		inSet[i] = true
+	}
+	// Adjacency within the set: bag i is adjacent to Parent[i] when both are
+	// in the set.  BFS from the first bag must reach all of them.
+	adj := make(map[int][]int, len(bags))
+	for _, i := range bags {
+		if p := td.Parent[i]; p != -1 && inSet[p] {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], i)
+		}
+	}
+	visited := map[int]bool{bags[0]: true}
+	queue := []int{bags[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(visited) == len(bags)
+}
+
+func shareBag(a, b []int) bool {
+	set := make(map[int]bool, len(a))
+	for _, i := range a {
+		set[i] = true
+	}
+	for _, j := range b {
+		if set[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Width returns max |bag| - 1.
+func (td *TreeDecomposition) Width() int {
+	w := -1
+	for _, bag := range td.Bags {
+		if len(bag)-1 > w {
+			w = len(bag) - 1
+		}
+	}
+	return w
+}
+
+// Length returns the maximum bag length under the given distance function.
+func (td *TreeDecomposition) Length(distFn func(u, v graph.NodeID) int32, n int) int {
+	best := 0
+	for _, bag := range td.Bags {
+		if l := BagLength(bag, distFn, n); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// Shape returns the maximum over bags of min(width(bag), length(bag)) — the
+// paper's shape measure applied to a tree decomposition.
+func (td *TreeDecomposition) Shape(distFn func(u, v graph.NodeID) int32, n int) int {
+	best := 0
+	for _, bag := range td.Bags {
+		w := len(bag) - 1
+		s := w
+		if w > 0 {
+			if l := BagLength(bag, distFn, n); l < s {
+				s = l
+			}
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// OfTree returns the natural width-1 tree decomposition of a tree graph:
+// one bag per edge plus one bag per isolated node, with bags glued along the
+// tree structure.  It returns an error when g is not a forest; for the
+// Theorem 2 machinery use TreeCentroid instead (path decompositions).
+func OfTree(g *graph.Graph) (*TreeDecomposition, error) {
+	n := g.N()
+	if g.M() > n-1 {
+		return nil, fmt.Errorf("decomp: graph %v has too many edges to be a forest", g)
+	}
+	comps := g.Components()
+	if g.M() != n-len(comps) {
+		return nil, fmt.Errorf("decomp: graph %v contains a cycle", g)
+	}
+	var bags [][]graph.NodeID
+	var parent []int
+	// bagOfNode[v] is the index of the bag whose "lower" endpoint is v (the
+	// bag for the edge from v to its BFS parent), used to glue children.
+	bagOfNode := make([]int, n)
+	for i := range bagOfNode {
+		bagOfNode[i] = -1
+	}
+	for _, comp := range comps {
+		root := comp[0]
+		// BFS from the component root creating one bag per tree edge.
+		type item struct{ node, parentBag int32 }
+		queue := []item{{node: root, parentBag: -1}}
+		visited := map[graph.NodeID]bool{root: true}
+		if len(comp) == 1 {
+			bags = append(bags, []graph.NodeID{root})
+			parent = append(parent, -1)
+			bagOfNode[root] = len(bags) - 1
+			continue
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// attach is where bags for cur's child edges hang: normally the bag
+			// of the edge towards cur's own parent; at the component root the
+			// first child-edge bag becomes the tree root and the remaining
+			// child-edge bags attach to it (they all share the root node, so
+			// the node-connectivity condition holds).
+			attach := int(cur.parentBag)
+			for _, nb := range g.Neighbors(graph.NodeID(cur.node)) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				bags = append(bags, []graph.NodeID{graph.NodeID(cur.node), nb})
+				parent = append(parent, attach)
+				idx := len(bags) - 1
+				if attach == -1 {
+					attach = idx
+				}
+				bagOfNode[nb] = idx
+				queue = append(queue, item{node: int32(nb), parentBag: int32(idx)})
+			}
+		}
+	}
+	return NewTreeDecomposition(bags, parent)
+}
+
+// FromPathDecomposition views a path decomposition as a tree decomposition
+// whose tree is a path.
+func FromPathDecomposition(pd *PathDecomposition) *TreeDecomposition {
+	parent := make([]int, pd.B())
+	for i := range parent {
+		parent[i] = i - 1
+	}
+	td, err := NewTreeDecomposition(pd.Bags, parent)
+	if err != nil {
+		// A valid path decomposition always converts cleanly.
+		panic("decomp: FromPathDecomposition: " + err.Error())
+	}
+	return td
+}
+
+// ToPathDecomposition converts a tree decomposition into a path
+// decomposition by walking the bag tree in depth-first order and emitting,
+// at every bag, the union of the bags on the root-to-current path.  The
+// resulting width is at most (width+1)·depth - 1, which is the classical
+// pw ≤ O(tw · log n) route when the bag tree is balanced.
+func (td *TreeDecomposition) ToPathDecomposition() *PathDecomposition {
+	b := td.B()
+	if b == 0 {
+		return &PathDecomposition{}
+	}
+	children := make([][]int, b)
+	roots := []int{}
+	for i, p := range td.Parent {
+		if p == -1 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	var bags [][]graph.NodeID
+	var stack []graph.NodeID // multiset of nodes on the current root path
+	var walk func(i int)
+	walk = func(i int) {
+		stack = append(stack, td.Bags[i]...)
+		union := append([]graph.NodeID(nil), stack...)
+		bags = append(bags, union)
+		for _, c := range children[i] {
+			walk(c)
+		}
+		stack = stack[:len(stack)-len(td.Bags[i])]
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return NewPathDecomposition(bags).Reduce()
+}

@@ -1,0 +1,220 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/xrand"
+)
+
+func TestNewTreeDecompositionValidation(t *testing.T) {
+	if _, err := NewTreeDecomposition([][]graph.NodeID{{0}}, []int{0}); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+	if _, err := NewTreeDecomposition([][]graph.NodeID{{0}}, []int{5}); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+	if _, err := NewTreeDecomposition([][]graph.NodeID{{0}}, []int{-1, -1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	td, err := NewTreeDecomposition([][]graph.NodeID{{1, 0, 1}}, []int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Bags[0]) != 2 {
+		t.Fatal("duplicates not removed")
+	}
+}
+
+func TestOfTreeOnTrees(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 2, 5, 50, 500} {
+		g := gen.RandomTree(n, rng)
+		td, err := OfTree(g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := td.Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 1 && td.Width() != 1 {
+			t.Fatalf("n=%d: width %d, want 1", n, td.Width())
+		}
+		if n > 1 && td.B() != n-1 {
+			t.Fatalf("n=%d: %d bags, want %d", n, td.B(), n-1)
+		}
+	}
+}
+
+func TestOfTreeOnForest(t *testing.T) {
+	g := graph.NewBuilder(5).AddEdge(0, 1).AddEdge(2, 3).Build() // node 4 isolated
+	td, err := OfTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if td.B() != 3 { // two edge bags + one isolated-node bag
+		t.Fatalf("%d bags", td.B())
+	}
+}
+
+func TestOfTreeRejectsCycles(t *testing.T) {
+	if _, err := OfTree(gen.Cycle(5)); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := OfTree(gen.Complete(4)); err == nil {
+		t.Fatal("clique accepted")
+	}
+}
+
+func TestTreeDecompositionMeasures(t *testing.T) {
+	g := gen.Star(6)
+	td, err := OfTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := distFn(g)
+	if td.Width() != 1 {
+		t.Fatalf("width %d", td.Width())
+	}
+	if td.Length(d, g.N()) != 1 {
+		t.Fatalf("length %d", td.Length(d, g.N()))
+	}
+	if td.Shape(d, g.N()) != 1 {
+		t.Fatalf("shape %d", td.Shape(d, g.N()))
+	}
+	// A single big bag over a clique: width n-1, length 1, shape 1.
+	k := gen.Complete(5)
+	all := []graph.NodeID{0, 1, 2, 3, 4}
+	tdK, err := NewTreeDecomposition([][]graph.NodeID{all}, []int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdK.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	dk := distFn(k)
+	if tdK.Width() != 4 || tdK.Shape(dk, 5) != 1 {
+		t.Fatalf("clique bag width %d shape %d", tdK.Width(), tdK.Shape(dk, 5))
+	}
+}
+
+func TestValidateCatchesBrokenTreeDecompositions(t *testing.T) {
+	g := gen.Path(4)
+	// Missing node 3.
+	td, _ := NewTreeDecomposition([][]graph.NodeID{{0, 1}, {1, 2}}, []int{-1, 0})
+	if err := td.Validate(g); err == nil {
+		t.Fatal("missing node accepted")
+	}
+	// Edge (2,3) uncovered.
+	td2, _ := NewTreeDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {3}}, []int{-1, 0, 1})
+	if err := td2.Validate(g); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+	// Node 1's bags do not induce a subtree (bags 0 and 2 are not adjacent).
+	td3, _ := NewTreeDecomposition([][]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {1, 3}}, []int{-1, 0, 1, 2})
+	_ = td3
+	td4, _ := NewTreeDecomposition([][]graph.NodeID{{0, 1}, {2}, {1, 2, 3}}, []int{-1, 0, 1})
+	if err := td4.Validate(g); err != nil {
+		// {0,1} - {2} - {1,2,3}: node 1 appears in bags 0 and 2 which are not
+		// adjacent, so validation must fail.
+		t.Logf("connectivity violation correctly reported: %v", err)
+	} else {
+		t.Fatal("non-subtree occurrence accepted")
+	}
+}
+
+func TestFromPathDecomposition(t *testing.T) {
+	g := gen.Path(10)
+	pd, err := OfPathGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := FromPathDecomposition(pd)
+	if err := td.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if td.Width() != pd.Width() {
+		t.Fatal("width changed by conversion")
+	}
+}
+
+func TestToPathDecompositionValid(t *testing.T) {
+	rng := xrand.New(7)
+	check := func(raw uint16) bool {
+		n := 2 + int(raw%60)
+		g := gen.RandomTree(n, rng)
+		td, err := OfTree(g)
+		if err != nil {
+			return false
+		}
+		pd := td.ToPathDecomposition()
+		return pd.Validate(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToPathDecompositionWidthBound(t *testing.T) {
+	// On a balanced binary tree the edge-bag tree is balanced, so the
+	// conversion's width is O(width · depth) = O(log n).
+	g := gen.BinaryTree(127)
+	td, err := OfTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := td.ToPathDecomposition()
+	if err := pd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Width() > 16 {
+		t.Fatalf("converted pathwidth %d too large for a 127-node balanced tree", pd.Width())
+	}
+}
+
+func TestTreeshapeVsPathshapeOrdering(t *testing.T) {
+	// Treeshape is never larger than pathshape for the constructions we can
+	// compare: the edge-bag decomposition of a tree has shape 1 while the
+	// centroid path decomposition typically has shape ~log n.
+	g := gen.BinaryTree(255)
+	d := distFn(g)
+	td, err := OfTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := TreeCentroid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := td.Shape(d, g.N())
+	ps := pd.Shape(d, g.N())
+	if ts > ps {
+		t.Fatalf("treeshape upper bound %d exceeds pathshape upper bound %d", ts, ps)
+	}
+	if ts != 1 {
+		t.Fatalf("edge-bag treeshape %d, want 1", ts)
+	}
+}
+
+func TestEmptyTreeDecomposition(t *testing.T) {
+	td := &TreeDecomposition{}
+	empty := graph.NewBuilder(0).Build()
+	if err := td.Validate(empty); err != nil {
+		t.Fatal(err)
+	}
+	if td.Width() != -1 {
+		t.Fatal("empty width")
+	}
+	if td.ToPathDecomposition().B() != 0 {
+		t.Fatal("empty conversion")
+	}
+	nonEmpty := gen.Path(2)
+	if err := td.Validate(nonEmpty); err == nil {
+		t.Fatal("empty decomposition accepted for non-empty graph")
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"navaug/internal/report"
+	"navaug/internal/xrand"
+)
+
+// smokeConfig keeps experiment runs tiny: sizes are scaled down to the
+// 64-node floor and the sampling effort is minimal.
+func smokeConfig() Config {
+	return Config{Seed: 1, Scale: 0.02, Pairs: 2, Trials: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(IDs()) != 10 {
+		t.Fatal("IDs() length mismatch")
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E7")
+	if !ok || e.ID != "E7" {
+		t.Fatal("ByID failed for E7")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1.0 || c.Seed == 0 {
+		t.Fatalf("defaults %+v", c)
+	}
+	sizes := Config{Scale: 0.01}.scaleSizes(1000, 2000, 4000)
+	if len(sizes) == 0 {
+		t.Fatal("no sizes")
+	}
+	for i, n := range sizes {
+		if n < 64 {
+			t.Fatalf("size %d below floor", n)
+		}
+		if i > 0 && sizes[i] <= sizes[i-1] {
+			t.Fatal("sizes not strictly increasing")
+		}
+	}
+	sc := Config{Pairs: 3, Trials: 2}.simConfig(10, 10)
+	if sc.Pairs != 3 || sc.Trials != 2 {
+		t.Fatalf("overrides not applied: %+v", sc)
+	}
+	sc2 := Config{}.simConfig(10, 7)
+	if sc2.Pairs != 10 || sc2.Trials != 7 {
+		t.Fatalf("defaults not applied: %+v", sc2)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if hashString("path") != hashString("path") {
+		t.Fatal("hash unstable")
+	}
+	if hashString("path") == hashString("grid") {
+		t.Fatal("distinct strings collide (unlucky but fix the seed)")
+	}
+}
+
+func TestStandardFamiliesConnected(t *testing.T) {
+	for _, fam := range standardFamilies() {
+		g, err := fam.build(200, xrand.New(hashString(fam.name)))
+		if err != nil {
+			t.Fatalf("%s: %v", fam.name, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: disconnected", fam.name)
+		}
+	}
+}
+
+// Every experiment must run end to end at smoke scale and produce at least
+// one non-empty table whose rows match the declared column count.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(smokeConfig())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" {
+					t.Fatalf("%s produced an untitled table", e.ID)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s produced empty table %q", e.ID, tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Fatalf("%s table %q row has %d cells for %d columns",
+							e.ID, tbl.Title, len(row), len(tbl.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf, "text"); err != nil {
+					t.Fatalf("%s render: %v", e.ID, err)
+				}
+			}
+		})
+	}
+}
+
+// E1 at a slightly larger scale must produce a √n-like exponent for the
+// uniform scheme on the path family.
+func TestE1ExponentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short mode")
+	}
+	tables, err := E1().Run(Config{Seed: 7, Scale: 0.25, Pairs: 8, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := tables[1]
+	found := false
+	for _, row := range fit.Rows {
+		if row[0] != "path" {
+			continue
+		}
+		found = true
+		exp := mustFloat(t, row[1])
+		if exp < 0.3 || exp > 0.75 {
+			t.Fatalf("uniform-on-path exponent %v outside the √n band", exp)
+		}
+	}
+	if !found {
+		t.Fatal("no path row in the fit table")
+	}
+}
+
+// E7 at moderate scale must show the ball scheme beating the uniform scheme
+// in fitted exponent on the path family.
+func TestE7BallBeatsUniformExponent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short mode")
+	}
+	tables, err := E7().Run(Config{Seed: 7, Scale: 0.25, Pairs: 6, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := tables[1]
+	var ballExp, uniExp float64
+	var haveBall, haveUni bool
+	for _, row := range fit.Rows {
+		if row[0] != "path" {
+			continue
+		}
+		switch row[1] {
+		case "ball":
+			ballExp = mustFloat(t, row[2])
+			haveBall = true
+		case "uniform":
+			uniExp = mustFloat(t, row[2])
+			haveUni = true
+		}
+	}
+	if !haveBall || !haveUni {
+		t.Fatal("missing fit rows for path")
+	}
+	if ballExp >= uniExp {
+		t.Fatalf("ball exponent %v not below uniform exponent %v", ballExp, uniExp)
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", s, err)
+	}
+	return v
+}
+
+func TestTablesAreRenderableInAllFormats(t *testing.T) {
+	tables, err := E2().Run(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "csv", "markdown"} {
+		var buf bytes.Buffer
+		for _, tbl := range tables {
+			if err := tbl.Render(&buf, format); err != nil {
+				t.Fatalf("format %s: %v", format, err)
+			}
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %s produced nothing", format)
+		}
+	}
+	_ = report.Cell(1.0)
+}

@@ -1,0 +1,233 @@
+// Package graph provides the immutable undirected graph representation used
+// by the navigability simulator.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single flat
+// adjacency slice plus per-node offsets.  Node identifiers are dense int32
+// values in [0, N).  Graphs are built through a Builder and are immutable
+// afterwards, which makes them safe for concurrent readers (the Monte Carlo
+// engine shares one Graph across many goroutines).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a Graph.  IDs are dense in [0, N).
+type NodeID = int32
+
+// Edge is an undirected edge between two nodes.
+type Edge struct {
+	U, V NodeID
+}
+
+// Graph is an immutable undirected simple graph in CSR form.
+type Graph struct {
+	n       int32
+	m       int64   // number of undirected edges
+	offsets []int64 // len n+1
+	adj     []int32 // len 2*m, neighbours of node i are adj[offsets[i]:offsets[i+1]]
+	name    string
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Self-loops are rejected; duplicate edges are merged.
+type Builder struct {
+	n     int32
+	edges []Edge
+	name  string
+}
+
+// NewBuilder creates a builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: int32(n)}
+}
+
+// SetName attaches a human-readable name reported by Graph.Name.
+func (b *Builder) SetName(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// N returns the number of nodes the builder was created with.
+func (b *Builder) N() int { return int(b.n) }
+
+// AddEdge records the undirected edge {u, v}.  It panics on out-of-range
+// endpoints or self-loops; duplicates are allowed and merged at Build time.
+func (b *Builder) AddEdge(u, v NodeID) *Builder {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v})
+	return b
+}
+
+// AddPath adds edges forming a path through the listed nodes in order.
+func (b *Builder) AddPath(nodes ...NodeID) *Builder {
+	for i := 1; i < len(nodes); i++ {
+		b.AddEdge(nodes[i-1], nodes[i])
+	}
+	return b
+}
+
+// Build produces the immutable Graph.  The builder may be reused afterwards,
+// although that is rarely useful.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// Normalise edges to (min,max) and deduplicate.
+	norm := make([]Edge, 0, len(b.edges))
+	for _, e := range b.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		norm = append(norm, Edge{U: u, V: v})
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].U != norm[j].U {
+			return norm[i].U < norm[j].U
+		}
+		return norm[i].V < norm[j].V
+	})
+	dedup := norm[:0]
+	for i, e := range norm {
+		if i == 0 || e != norm[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+
+	deg := make([]int64, n+1)
+	for _, e := range dedup {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := int32(1); i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range dedup {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	// Sort each adjacency list for deterministic iteration order.
+	for u := int32(0); u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		seg := adj[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+	return &Graph{
+		n:       n,
+		m:       int64(len(dedup)),
+		offsets: offsets,
+		adj:     adj,
+		name:    b.name,
+	}
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return int(g.n) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return int(g.m) }
+
+// Name returns the graph's descriptive name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// WithName returns a shallow copy of g carrying the given name.
+func (g *Graph) WithName(name string) *Graph {
+	cp := *g
+	cp.name = name
+	return &cp
+}
+
+// Degree returns the number of neighbours of u.
+func (g *Graph) Degree(u NodeID) int {
+	g.check(u)
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the neighbours of u as a shared, read-only slice.
+// Callers must not modify the returned slice.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	g.check(u)
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	nbr := g.Neighbors(u)
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+	return i < len(nbr) && nbr[i] == v
+}
+
+// Edges returns a fresh slice of all undirected edges with U < V.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the maximum node degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for u := int32(0); u < g.n; u++ {
+		if d := g.Degree(u); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// AverageDegree returns 2m/n, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s{n=%d m=%d}", name, g.n, g.m)
+}
+
+func (g *Graph) check(u NodeID) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}

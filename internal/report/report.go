@@ -1,0 +1,166 @@
+// Package report renders experiment results as aligned text tables, CSV and
+// Markdown.  Every experiment produces one or more Tables; the CLI and the
+// benchmark harness choose the output format.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells with named columns.
+type Table struct {
+	Title   string
+	Notes   []string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddNote appends a free-text footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a row, formatting each cell with Cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell formats a value for table output: floats get a compact fixed
+// precision, everything else uses the default formatting.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000 || x <= -1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10 || x <= -10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// RenderText writes the table as an aligned plain-text grid.
+func (t *Table) RenderText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteString("\n")
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (columns header first, notes omitted).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured Markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*%s*\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Render writes the table in the requested format: "text", "csv" or
+// "markdown"/"md".
+func (t *Table) Render(w io.Writer, format string) error {
+	switch strings.ToLower(format) {
+	case "", "text", "txt":
+		return t.RenderText(w)
+	case "csv":
+		return t.RenderCSV(w)
+	case "markdown", "md":
+		return t.RenderMarkdown(w)
+	default:
+		return fmt.Errorf("report: unknown format %q", format)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("sample", "n", "scheme", "steps")
+	t.AddRow(100, "uniform", 12.345678)
+	t.AddRow(10000, "ball", 45.6)
+	t.AddNote("seed %d", 7)
+	return t
+}
+
+func TestCellFormatting(t *testing.T) {
+	if Cell(12.3456) != "12.3" {
+		t.Fatalf("Cell(12.3456) = %q", Cell(12.3456))
+	}
+	if Cell(1.23456) != "1.235" {
+		t.Fatalf("Cell(1.23456) = %q", Cell(1.23456))
+	}
+	if Cell(12345.6) != "12346" {
+		t.Fatalf("Cell(12345.6) = %q", Cell(12345.6))
+	}
+	if Cell(0.0) != "0" {
+		t.Fatalf("Cell(0) = %q", Cell(0.0))
+	}
+	if Cell("x") != "x" || Cell(42) != "42" {
+		t.Fatal("string/int formatting")
+	}
+	if Cell(float32(2.5)) != "2.500" {
+		t.Fatalf("float32 cell %q", Cell(float32(2.5)))
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== sample ==", "n", "scheme", "steps", "uniform", "ball", "note: seed 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must be aligned: every data line must be at least as long as
+	// the header line's column start positions.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "n,scheme,steps" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "100,uniform,") {
+		t.Fatalf("csv row %q", lines[1])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### sample") {
+		t.Fatal("markdown missing title")
+	}
+	if !strings.Contains(out, "| n | scheme | steps |") {
+		t.Fatalf("markdown missing header: %s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatal("markdown missing separator")
+	}
+	if !strings.Contains(out, "*seed 7*") {
+		t.Fatal("markdown missing note")
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := sampleTable()
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		buf.Reset()
+		if err := tbl.Render(&buf, f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced no output", f)
+		}
+	}
+	if err := tbl.Render(&buf, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := NewTable("", "a")
+	var buf bytes.Buffer
+	if err := tbl.RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "==") {
+		t.Fatal("untitled table should not print a title banner")
+	}
+}
+
+func TestRowsShorterThanColumns(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.Rows = append(tbl.Rows, []string{"only-one"})
+	var buf bytes.Buffer
+	if err := tbl.RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Fatal("short row lost")
+	}
+}

@@ -1,0 +1,193 @@
+// Package route implements the oblivious greedy routing process of the
+// paper: at every intermediate node the message is forwarded to the
+// neighbour (local neighbours plus the node's own long-range contact) that
+// is closest to the target according to distances in the underlying graph.
+//
+// Long-range contacts are drawn lazily through an augment.Memo so that each
+// node keeps one consistent contact per trial while only paying for the
+// nodes actually visited.
+package route
+
+import (
+	"fmt"
+
+	"navaug/internal/augment"
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// Result describes a single greedy routing trial.
+type Result struct {
+	// Steps is the number of hops taken (0 when source == target).
+	Steps int
+	// LongLinksUsed counts the hops that traversed a long-range link.
+	LongLinksUsed int
+	// Reached reports whether the target was reached within the step cap.
+	Reached bool
+	// Path is the visited node sequence including source and target.  It is
+	// only populated when tracing is requested.
+	Path []graph.NodeID
+}
+
+// Options tune a routing trial.
+type Options struct {
+	// MaxSteps caps the number of hops (0 means 4·n, which greedy routing
+	// can never legitimately exceed because each hop strictly decreases the
+	// distance to the target).
+	MaxSteps int
+	// Trace records the full visited path in the Result.
+	Trace bool
+}
+
+// Greedy routes a message from s to t on graph g augmented by the given
+// instance, using distToTarget[v] = dist_G(v, t).  The rng drives the lazy
+// long-range contact draws.  It returns an error for invalid endpoints or a
+// distance vector of the wrong length or with an unreachable source.
+func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
+	n := g.N()
+	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
+		return Result{}, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if len(distToTarget) != n {
+		return Result{}, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
+	}
+	if distToTarget[t] != 0 {
+		return Result{}, fmt.Errorf("route: distance vector is not rooted at target %d", t)
+	}
+	if distToTarget[s] == graph.Unreachable {
+		return Result{}, fmt.Errorf("route: target %d unreachable from source %d", t, s)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4*n + 16
+	}
+
+	memo := augment.NewMemo(inst)
+	res := Result{}
+	if opts.Trace {
+		res.Path = append(res.Path, s)
+	}
+	cur := s
+	for cur != t {
+		if res.Steps >= maxSteps {
+			return res, nil // Reached stays false
+		}
+		next, viaLong := greedyStep(g, memo, cur, distToTarget, rng)
+		if viaLong {
+			res.LongLinksUsed++
+		}
+		cur = next
+		res.Steps++
+		if opts.Trace {
+			res.Path = append(res.Path, cur)
+		}
+	}
+	res.Reached = true
+	return res, nil
+}
+
+// greedyStep picks the neighbour of cur (including its long-range contact)
+// closest to the target; ties prefer local links and then lower node ids,
+// which keeps the process deterministic given the drawn contacts.
+func greedyStep(g *graph.Graph, memo *augment.Memo, cur graph.NodeID, distToTarget []int32, rng *xrand.RNG) (graph.NodeID, bool) {
+	best := cur
+	bestDist := distToTarget[cur]
+	viaLong := false
+	for _, v := range g.Neighbors(cur) {
+		d := distToTarget[v]
+		if d == graph.Unreachable {
+			continue
+		}
+		if d < bestDist || (d == bestDist && v < best) {
+			best = v
+			bestDist = d
+			viaLong = false
+		}
+	}
+	if c := memo.Contact(cur, rng); c != cur {
+		d := distToTarget[c]
+		if d != graph.Unreachable && d < bestDist {
+			best = c
+			bestDist = d
+			viaLong = true
+		}
+	}
+	return best, viaLong
+}
+
+// GreedyWithLookahead is the "know thy neighbour's neighbour" extension
+// mentioned in the paper's related work [16]: the routing decision also
+// considers the long-range contacts of the current node's local neighbours
+// (one hop of lookahead), forwarding towards the neighbour whose own contact
+// is closest to the target when that beats every direct option.  The
+// traversal still advances one edge per step, so the step count remains
+// comparable with plain greedy routing.
+func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
+	n := g.N()
+	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
+		return Result{}, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if len(distToTarget) != n {
+		return Result{}, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
+	}
+	if distToTarget[t] != 0 {
+		return Result{}, fmt.Errorf("route: distance vector is not rooted at target %d", t)
+	}
+	if distToTarget[s] == graph.Unreachable {
+		return Result{}, fmt.Errorf("route: target %d unreachable from source %d", t, s)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4*n + 16
+	}
+	memo := augment.NewMemo(inst)
+	res := Result{}
+	if opts.Trace {
+		res.Path = append(res.Path, s)
+	}
+	cur := s
+	for cur != t {
+		if res.Steps >= maxSteps {
+			return res, nil
+		}
+		// Direct greedy candidate.
+		direct, viaLong := greedyStep(g, memo, cur, distToTarget, rng)
+		directDist := distToTarget[direct]
+		// Lookahead: neighbour whose own long-range contact is closest.
+		bestVia := graph.NodeID(-1)
+		bestViaDist := int32(-1)
+		for _, v := range g.Neighbors(cur) {
+			if distToTarget[v] == graph.Unreachable {
+				continue
+			}
+			c := memo.Contact(v, rng)
+			d := distToTarget[c]
+			if d == graph.Unreachable {
+				continue
+			}
+			if bestVia == -1 || d < bestViaDist {
+				bestVia = v
+				bestViaDist = d
+			}
+		}
+		next := direct
+		nextViaLong := viaLong
+		// Move towards the lookahead neighbour only when its contact is
+		// strictly better than anything reachable directly; the hop itself is
+		// a local link.
+		if bestVia != -1 && bestViaDist < directDist && bestViaDist < distToTarget[cur] {
+			next = bestVia
+			nextViaLong = false
+		}
+		if nextViaLong {
+			res.LongLinksUsed++
+		}
+		cur = next
+		res.Steps++
+		if opts.Trace {
+			res.Path = append(res.Path, cur)
+		}
+	}
+	res.Reached = true
+	return res, nil
+}

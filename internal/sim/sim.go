@@ -1,0 +1,313 @@
+// Package sim is the Monte Carlo engine that estimates greedy diameters of
+// augmented graphs.  It samples source/target pairs, redraws the
+// augmentation several times per pair, routes greedily, and aggregates the
+// step counts into an Estimate.  Work is spread over a worker pool; results
+// are deterministic for a fixed Config.Seed regardless of the number of
+// workers because every (pair, trial) block derives its RNG stream from the
+// seed and the pair index alone.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"navaug/internal/augment"
+	"navaug/internal/graph"
+	"navaug/internal/route"
+	"navaug/internal/stats"
+	"navaug/internal/xrand"
+)
+
+// Pair is a source/target pair for routing.
+type Pair struct {
+	Source, Target graph.NodeID
+}
+
+// Config tunes an estimation run.
+type Config struct {
+	// Pairs is the number of source/target pairs to sample (default 16).
+	// When FixedPairs is non-empty it is ignored.
+	Pairs int
+	// Trials is the number of independent augmentation draws (and routings)
+	// per pair (default 8).
+	Trials int
+	// Seed drives all sampling; runs with equal seeds produce equal results.
+	Seed uint64
+	// Workers is the worker pool size (default GOMAXPROCS).
+	Workers int
+	// MaxSteps caps a single routing walk (default: route's own default).
+	MaxSteps int
+	// FixedPairs, when non-empty, replaces random pair sampling entirely.
+	FixedPairs []Pair
+	// IncludeExtremalPair adds a two-sweep (approximately diametral) pair to
+	// the sampled pairs, which sharpens the greedy-diameter estimate since
+	// the diameter is a maximum over pairs.  Default true when sampling.
+	IncludeExtremalPair bool
+	// Lookahead routes with one hop of neighbour-of-neighbour lookahead
+	// (extension experiment) instead of plain greedy routing.
+	Lookahead bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pairs <= 0 {
+		c.Pairs = 16
+	}
+	if c.Trials <= 0 {
+		c.Trials = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// PairStats aggregates the routing trials of one source/target pair.
+type PairStats struct {
+	Pair          Pair
+	Dist          int32 // graph distance between the endpoints
+	Steps         stats.Summary
+	MeanLongLinks float64
+	Failed        int // trials that hit the step cap (should be zero)
+}
+
+// Estimate is the outcome of EstimateGreedyDiameter.
+type Estimate struct {
+	Scheme    string
+	GraphName string
+	N, M      int
+	PairStats []PairStats
+	// MeanSteps is the grand mean over every routed trial.
+	MeanSteps float64
+	// GreedyDiameter is the Monte Carlo estimate of diam(G, φ): the maximum
+	// over sampled pairs of the per-pair mean number of steps.
+	GreedyDiameter float64
+	// CI95 is the half-width of the 95% confidence interval of MeanSteps.
+	CI95 float64
+	// MeanLongLinks is the average number of long-range hops per route.
+	MeanLongLinks float64
+	// Samples is the total number of routed trials.
+	Samples int
+}
+
+// EstimateGreedyDiameter runs the Monte Carlo estimation of the greedy
+// diameter of g under the given scheme.
+func EstimateGreedyDiameter(g *graph.Graph, scheme augment.Scheme, cfg Config) (*Estimate, error) {
+	cfg = cfg.withDefaults()
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("sim: graph must have at least 2 nodes, got %d", n)
+	}
+	inst, err := scheme.Prepare(g)
+	if err != nil {
+		return nil, fmt.Errorf("sim: preparing scheme %s: %w", scheme.Name(), err)
+	}
+	pairs, err := selectPairs(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]PairStats, len(pairs))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range tasks {
+				ps, err := runPair(g, inst, pairs[idx], idx, cfg)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[idx] = ps
+			}
+		}()
+	}
+	for idx := range pairs {
+		tasks <- idx
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	est := &Estimate{
+		Scheme:    scheme.Name(),
+		GraphName: g.Name(),
+		N:         n,
+		M:         g.M(),
+		PairStats: results,
+	}
+	pairMeans := make([]float64, 0, len(results))
+	var longLinks float64
+	for _, ps := range results {
+		if ps.Steps.Mean > est.GreedyDiameter {
+			est.GreedyDiameter = ps.Steps.Mean
+		}
+		longLinks += ps.MeanLongLinks * float64(ps.Steps.Count)
+		pairMeans = append(pairMeans, ps.Steps.Mean)
+	}
+	// The grand mean and its CI are computed over per-pair means (every pair
+	// runs the same number of trials, so the weighting is uniform).
+	grand := stats.NewSummary(pairMeans)
+	est.MeanSteps = grand.Mean
+	est.CI95 = grand.CI95()
+	est.Samples = len(pairs) * cfg.Trials
+	if est.Samples > 0 {
+		est.MeanLongLinks = longLinks / float64(est.Samples)
+	}
+	return est, nil
+}
+
+// selectPairs picks the source/target pairs for an estimation run.
+func selectPairs(g *graph.Graph, cfg Config) ([]Pair, error) {
+	if len(cfg.FixedPairs) > 0 {
+		for _, p := range cfg.FixedPairs {
+			if int(p.Source) < 0 || int(p.Source) >= g.N() || int(p.Target) < 0 || int(p.Target) >= g.N() {
+				return nil, fmt.Errorf("sim: fixed pair (%d,%d) out of range", p.Source, p.Target)
+			}
+		}
+		return append([]Pair(nil), cfg.FixedPairs...), nil
+	}
+	rng := xrand.New(cfg.Seed ^ 0x5eed5eed5eed5eed)
+	pairs := make([]Pair, 0, cfg.Pairs)
+	if cfg.IncludeExtremalPair && cfg.Pairs >= 2 {
+		s, t := extremalPair(g)
+		pairs = append(pairs, Pair{Source: s, Target: t})
+	}
+	const maxResample = 64
+	for len(pairs) < cfg.Pairs {
+		var p Pair
+		ok := false
+		for attempt := 0; attempt < maxResample; attempt++ {
+			s := graph.NodeID(rng.Intn(g.N()))
+			t := graph.NodeID(rng.Intn(g.N()))
+			if s == t {
+				continue
+			}
+			p = Pair{Source: s, Target: t}
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("sim: could not sample distinct source/target pairs")
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+// extremalPair returns an approximately diametral pair via a double sweep.
+func extremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
+	d1 := g.BFS(0)
+	a := graph.NodeID(0)
+	for v, d := range d1 {
+		if d > d1[a] {
+			a = graph.NodeID(v)
+		}
+	}
+	d2 := g.BFS(a)
+	b := a
+	for v, d := range d2 {
+		if d > d2[b] {
+			b = graph.NodeID(v)
+		}
+	}
+	return a, b
+}
+
+// runPair executes all trials of one pair.
+func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Config) (PairStats, error) {
+	distToTarget := g.BFS(p.Target)
+	if distToTarget[p.Source] == graph.Unreachable {
+		return PairStats{}, fmt.Errorf("sim: pair (%d,%d) is disconnected", p.Source, p.Target)
+	}
+	// Deterministic per-pair stream: independent of worker scheduling.
+	rng := xrand.New(cfg.Seed + 0x9e3779b97f4a7c15*uint64(pairIdx+1))
+	steps := make([]float64, 0, cfg.Trials)
+	longLinks := 0.0
+	failed := 0
+	opts := route.Options{MaxSteps: cfg.MaxSteps}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		var res route.Result
+		var err error
+		if cfg.Lookahead {
+			res, err = route.GreedyWithLookahead(g, inst, p.Source, p.Target, distToTarget, rng, opts)
+		} else {
+			res, err = route.Greedy(g, inst, p.Source, p.Target, distToTarget, rng, opts)
+		}
+		if err != nil {
+			return PairStats{}, err
+		}
+		if !res.Reached {
+			failed++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+		longLinks += float64(res.LongLinksUsed)
+	}
+	ps := PairStats{Pair: p, Dist: distToTarget[p.Source], Steps: stats.NewSummary(steps), Failed: failed}
+	if len(steps) > 0 {
+		ps.MeanLongLinks = longLinks / float64(len(steps))
+	}
+	return ps, nil
+}
+
+// CompareSchemes estimates the greedy diameter of g under each scheme with
+// the same configuration (and therefore the same sampled pairs), returning
+// estimates in the order the schemes were given.
+func CompareSchemes(g *graph.Graph, schemes []augment.Scheme, cfg Config) ([]*Estimate, error) {
+	out := make([]*Estimate, 0, len(schemes))
+	for _, s := range schemes {
+		est, err := EstimateGreedyDiameter(g, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scheme %s: %w", s.Name(), err)
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+// SweepResult is one point of a size sweep.
+type SweepResult struct {
+	N        int
+	Estimate *Estimate
+}
+
+// Sweep estimates the greedy diameter of scheme over a family of graphs
+// produced by build for each size.  The per-size seeds are derived from
+// cfg.Seed so the whole sweep is reproducible.
+func Sweep(sizes []int, build func(n int) (*graph.Graph, error), scheme augment.Scheme, cfg Config) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(sizes))
+	for i, n := range sizes {
+		g, err := build(n)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building graph for n=%d: %w", n, err)
+		}
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		est, err := EstimateGreedyDiameter(g, scheme, c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: n=%d: %w", n, err)
+		}
+		out = append(out, SweepResult{N: g.N(), Estimate: est})
+	}
+	return out, nil
+}
+
+// FitPower fits greedy diameter ≈ C·n^e over the sweep results.
+func FitPower(results []SweepResult) (stats.PowerFit, error) {
+	x := make([]float64, 0, len(results))
+	y := make([]float64, 0, len(results))
+	for _, r := range results {
+		x = append(x, float64(r.N))
+		y = append(y, r.Estimate.GreedyDiameter)
+	}
+	return stats.PowerLaw(x, y)
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"navaug/internal/augment"
+	"navaug/internal/decomp"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+)
+
+func TestEstimateNoAugmentationEqualsDistance(t *testing.T) {
+	g := gen.Path(200)
+	cfg := Config{
+		FixedPairs: []Pair{{Source: 0, Target: 199}, {Source: 10, Target: 60}},
+		Trials:     3,
+		Seed:       1,
+	}
+	est, err := EstimateGreedyDiameter(g, augment.NewNoAugmentation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.GreedyDiameter != 199 {
+		t.Fatalf("greedy diameter %v, want 199", est.GreedyDiameter)
+	}
+	if est.MeanSteps != (199+50)/2.0 {
+		t.Fatalf("mean steps %v", est.MeanSteps)
+	}
+	if est.MeanLongLinks != 0 {
+		t.Fatal("no-augmentation run reported long links")
+	}
+	if est.Samples != 6 {
+		t.Fatalf("samples %d", est.Samples)
+	}
+	for _, ps := range est.PairStats {
+		if ps.Failed != 0 {
+			t.Fatal("failures reported")
+		}
+	}
+}
+
+func TestEstimateDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	base := Config{Pairs: 8, Trials: 4, Seed: 99, IncludeExtremalPair: true}
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg8 := base
+	cfg8.Workers = 8
+	e1, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.MeanSteps != e8.MeanSteps || e1.GreedyDiameter != e8.GreedyDiameter {
+		t.Fatalf("results depend on worker count: %v vs %v", e1.MeanSteps, e8.MeanSteps)
+	}
+}
+
+func TestEstimateDeterministicAcrossRuns(t *testing.T) {
+	g := gen.Cycle(500)
+	cfg := Config{Pairs: 6, Trials: 5, Seed: 1234}
+	a, err := EstimateGreedyDiameter(g, augment.NewBallScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateGreedyDiameter(g, augment.NewBallScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSteps != b.MeanSteps || a.GreedyDiameter != b.GreedyDiameter {
+		t.Fatal("same seed produced different estimates")
+	}
+}
+
+func TestEstimateDifferentSeedsDiffer(t *testing.T) {
+	g := gen.Cycle(500)
+	a, _ := EstimateGreedyDiameter(g, augment.NewUniformScheme(), Config{Pairs: 6, Trials: 5, Seed: 1})
+	b, _ := EstimateGreedyDiameter(g, augment.NewUniformScheme(), Config{Pairs: 6, Trials: 5, Seed: 2})
+	if a.MeanSteps == b.MeanSteps {
+		t.Fatal("different seeds produced byte-identical estimates (suspicious)")
+	}
+}
+
+func TestEstimateRejectsTinyGraph(t *testing.T) {
+	if _, err := EstimateGreedyDiameter(gen.Path(1), augment.NewUniformScheme(), Config{}); err == nil {
+		t.Fatal("single-node graph accepted")
+	}
+}
+
+func TestEstimateRejectsBadFixedPairs(t *testing.T) {
+	g := gen.Path(10)
+	cfg := Config{FixedPairs: []Pair{{Source: 0, Target: 50}}}
+	if _, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg); err == nil {
+		t.Fatal("out-of-range fixed pair accepted")
+	}
+}
+
+func TestEstimateDisconnectedPairFails(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).Build()
+	cfg := Config{FixedPairs: []Pair{{Source: 0, Target: 3}}}
+	if _, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg); err == nil {
+		t.Fatal("disconnected pair accepted")
+	}
+}
+
+func TestEstimatePropagatesPrepareError(t *testing.T) {
+	g := gen.Cycle(10)
+	bad := augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+		return decomp.OfPathGraph(g) // cycle is not a path -> error
+	})
+	if _, err := EstimateGreedyDiameter(g, bad, Config{Pairs: 2, Trials: 1}); err == nil {
+		t.Fatal("Prepare error not propagated")
+	}
+}
+
+func TestExtremalPairIncluded(t *testing.T) {
+	g := gen.Path(300)
+	cfg := Config{Pairs: 4, Trials: 1, Seed: 5, IncludeExtremalPair: true}
+	est, err := EstimateGreedyDiameter(g, augment.NewNoAugmentation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the extremal pair included and no augmentation, the greedy
+	// diameter estimate must be the true diameter 299.
+	if est.GreedyDiameter != 299 {
+		t.Fatalf("extremal pair missing: greedy diameter %v", est.GreedyDiameter)
+	}
+}
+
+func TestUniformSchemeSqrtNShape(t *testing.T) {
+	// The core sanity check behind E1: on a long cycle, uniform augmentation
+	// needs far fewer steps than the diameter but far more than polylog.
+	g := gen.Cycle(4000)
+	cfg := Config{Pairs: 10, Trials: 4, Seed: 7, IncludeExtremalPair: true}
+	est, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqrtN := math.Sqrt(4000)
+	if est.GreedyDiameter < 0.3*sqrtN {
+		t.Fatalf("uniform greedy diameter %v suspiciously below √n=%v", est.GreedyDiameter, sqrtN)
+	}
+	if est.GreedyDiameter > 8*sqrtN {
+		t.Fatalf("uniform greedy diameter %v far above O(√n)=%v", est.GreedyDiameter, sqrtN)
+	}
+}
+
+func TestBallSchemeBeatsUniformOnLargePath(t *testing.T) {
+	// The headline Theorem 4 effect, at small scale: on a long path the ball
+	// scheme should need noticeably fewer steps than the uniform scheme.
+	g := gen.Path(8000)
+	cfg := Config{Pairs: 8, Trials: 3, Seed: 11, IncludeExtremalPair: true}
+	ests, err := CompareSchemes(g, []augment.Scheme{augment.NewUniformScheme(), augment.NewBallScheme()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, ball := ests[0], ests[1]
+	if ball.GreedyDiameter >= uniform.GreedyDiameter {
+		t.Fatalf("ball scheme (%v) did not beat uniform (%v) on n=8000 path",
+			ball.GreedyDiameter, uniform.GreedyDiameter)
+	}
+}
+
+func TestCompareSchemesOrderAndNames(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	schemes := []augment.Scheme{augment.NewNoAugmentation(), augment.NewUniformScheme()}
+	ests, err := CompareSchemes(g, schemes, Config{Pairs: 3, Trials: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 || ests[0].Scheme != "none" || ests[1].Scheme != "uniform" {
+		t.Fatalf("unexpected comparison output: %+v", ests)
+	}
+	if ests[0].N != 100 || ests[0].GraphName == "" {
+		t.Fatal("graph metadata missing")
+	}
+}
+
+func TestSweepAndFit(t *testing.T) {
+	sizes := []int{200, 400, 800, 1600}
+	build := func(n int) (*graph.Graph, error) { return gen.Path(n), nil }
+	results, err := Sweep(sizes, build, augment.NewNoAugmentation(),
+		Config{Pairs: 2, Trials: 1, Seed: 17, IncludeExtremalPair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(sizes) {
+		t.Fatalf("%d results", len(results))
+	}
+	fit, err := FitPower(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without augmentation the greedy diameter is the diameter = n-1, so the
+	// fitted exponent must be essentially 1.
+	if math.Abs(fit.Exponent-1) > 0.05 {
+		t.Fatalf("no-augmentation sweep exponent %v, want ~1", fit.Exponent)
+	}
+}
+
+func TestSweepPropagatesBuildErrors(t *testing.T) {
+	build := func(n int) (*graph.Graph, error) {
+		return nil, errBuild
+	}
+	if _, err := Sweep([]int{10}, build, augment.NewUniformScheme(), Config{}); err == nil {
+		t.Fatal("build error not propagated")
+	}
+}
+
+var errBuild = &buildError{}
+
+type buildError struct{}
+
+func (*buildError) Error() string { return "build failed" }
+
+func TestLookaheadConfigRuns(t *testing.T) {
+	g := gen.Grid2D(15, 15)
+	cfg := Config{Pairs: 4, Trials: 2, Seed: 23, Lookahead: true}
+	est, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 8 {
+		t.Fatalf("samples %d", est.Samples)
+	}
+	for _, ps := range est.PairStats {
+		if ps.Failed != 0 {
+			t.Fatal("lookahead routing failed to reach targets")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Pairs != 16 || c.Trials != 8 || c.Workers < 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+}

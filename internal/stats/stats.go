@@ -1,0 +1,228 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: summary statistics with confidence intervals, quantiles, and
+// least-squares fits (including log-log exponent fits used to verify the
+// paper's √n and n^(1/3) scaling claims).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	Std      float64
+	Min      float64
+	Max      float64
+}
+
+// NewSummary computes summary statistics; an empty sample yields a zero
+// Summary with Count == 0.
+func NewSummary(values []float64) Summary {
+	s := Summary{Count: len(values)}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = values[0]
+	s.Max = values[0]
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.Count)
+	if s.Count > 1 {
+		ss := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.Count-1)
+		s.Std = math.Sqrt(s.Variance)
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.Count))
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.Count < 1 {
+		return 0
+	}
+	return s.Std / math.Sqrt(float64(s.Count))
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f ±%.3f [%.3f, %.3f]", s.Count, s.Mean, s.CI95(), s.Min, s.Max)
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.  It panics on an empty sample or
+// q outside [0,1].
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile must be in [0,1]")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the sample median.
+func Median(values []float64) float64 { return Quantile(values, 0.5) }
+
+// LinearFit is the result of an ordinary least squares fit y = a + b·x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// Linear fits y = a + b·x by least squares.  It returns an error when fewer
+// than two points are given or the x values are all identical.
+func Linear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least 2 points, got %d", n)
+	}
+	var sumX, sumY float64
+	for i := range x {
+		sumX += x[i]
+		sumY += y[i]
+	}
+	meanX := sumX / float64(n)
+	meanY := sumY / float64(n)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - meanX
+		dy := y[i] - meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate fit, all x values identical")
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range x {
+			pred := intercept + slope*x[i]
+			ssRes += (y[i] - pred) * (y[i] - pred)
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2, N: n}, nil
+}
+
+// PowerFit is the result of fitting y = C · x^Exponent in log-log space.
+type PowerFit struct {
+	Exponent float64
+	Constant float64
+	R2       float64
+	N        int
+}
+
+// PowerLaw fits y ≈ C·x^e by least squares on (log x, log y).  Points with
+// non-positive coordinates are skipped; it returns an error if fewer than
+// two usable points remain.  This is the fit the experiments use to recover
+// the 0.5 and 1/3 exponents of Theorems 1 and 4.
+func PowerLaw(x, y []float64) (PowerFit, error) {
+	if len(x) != len(y) {
+		return PowerFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	var lx, ly []float64
+	for i := range x {
+		if x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	fit, err := Linear(lx, ly)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	return PowerFit{
+		Exponent: fit.Slope,
+		Constant: math.Exp(fit.Intercept),
+		R2:       fit.R2,
+		N:        fit.N,
+	}, nil
+}
+
+// PolylogFit fits y ≈ C · (log x)^Exponent, used to sanity-check the
+// polylogarithmic regimes of Theorem 2's corollaries.
+func PolylogFit(x, y []float64) (PowerFit, error) {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if x[i] > 1 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, y[i])
+		}
+	}
+	return PowerLaw(lx, ly)
+}
+
+// GeometricSizes returns approximately geometrically spaced integer sizes
+// from lo to hi (inclusive of both ends, deduplicated, increasing), with the
+// given number of points.  Experiments use it for n sweeps.
+func GeometricSizes(lo, hi, points int) []int {
+	if lo < 1 || hi < lo || points < 1 {
+		panic("stats: GeometricSizes requires 1 <= lo <= hi and points >= 1")
+	}
+	if points == 1 {
+		return []int{hi}
+	}
+	out := make([]int, 0, points)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(points-1))
+	val := float64(lo)
+	for i := 0; i < points; i++ {
+		v := int(math.Round(val))
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+		val *= ratio
+	}
+	if out[len(out)-1] != hi {
+		out = append(out, hi)
+	}
+	return out
+}

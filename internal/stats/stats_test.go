@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"navaug/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almostEqual(s.Variance, 2.5, 1e-12) {
+		t.Fatalf("variance %v", s.Variance)
+	}
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	if s := NewSummary(nil); s.Count != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s := NewSummary([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.CI95() != 0 || s.StdErr() != 0 {
+		t.Fatalf("single-element summary %+v", s)
+	}
+}
+
+func TestSummaryCIShrinksWithSampleSize(t *testing.T) {
+	rng := xrand.New(1)
+	small := make([]float64, 100)
+	large := make([]float64, 10000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	if NewSummary(large).CI95() >= NewSummary(small).CI95() {
+		t.Fatal("CI should shrink with more samples")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if NewSummary([]float64{1, 2}).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if Quantile(vals, 0) != 1 || Quantile(vals, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Median(vals) != 3 {
+		t.Fatalf("median %v", Median(vals))
+	}
+	if q := Quantile([]float64{1, 2}, 0.5); !almostEqual(q, 1.5, 1e-12) {
+		t.Fatalf("interpolated quantile %v", q)
+	}
+	if q := Quantile([]float64{9}, 0.75); q != 9 {
+		t.Fatal("single element quantile")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Quantile(vals, 0.5)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := Linear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := xrand.New(2)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xv := float64(i)
+		x = append(x, xv)
+		y = append(y, 4+0.5*xv+rng.NormFloat64())
+	}
+	fit, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0.5, 0.01) {
+		t.Fatalf("slope %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 %v too low", fit.R2)
+	}
+}
+
+func TestPowerLawRecoverExponent(t *testing.T) {
+	// y = 3 * x^0.5
+	var x, y []float64
+	for _, n := range []float64{100, 200, 400, 800, 1600, 3200} {
+		x = append(x, n)
+		y = append(y, 3*math.Sqrt(n))
+	}
+	fit, err := PowerLaw(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Exponent, 0.5, 1e-9) {
+		t.Fatalf("exponent %v", fit.Exponent)
+	}
+	if !almostEqual(fit.Constant, 3, 1e-6) {
+		t.Fatalf("constant %v", fit.Constant)
+	}
+}
+
+func TestPowerLawSkipsNonPositive(t *testing.T) {
+	x := []float64{0, -1, 10, 100, 1000}
+	y := []float64{5, 5, 1, 10, 100}
+	fit, err := PowerLaw(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 3 {
+		t.Fatalf("used %d points, want 3", fit.N)
+	}
+	if !almostEqual(fit.Exponent, 1, 1e-9) {
+		t.Fatalf("exponent %v", fit.Exponent)
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := PowerLaw([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("all non-positive accepted")
+	}
+}
+
+func TestPolylogFit(t *testing.T) {
+	// y = 2 * (log x)^3
+	var x, y []float64
+	for _, n := range []float64{16, 64, 256, 1024, 4096, 16384} {
+		x = append(x, n)
+		y = append(y, 2*math.Pow(math.Log(n), 3))
+	}
+	fit, err := PolylogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Exponent, 3, 1e-6) {
+		t.Fatalf("polylog exponent %v", fit.Exponent)
+	}
+}
+
+func TestGeometricSizes(t *testing.T) {
+	sizes := GeometricSizes(100, 10000, 5)
+	if sizes[0] != 100 {
+		t.Fatalf("first size %d", sizes[0])
+	}
+	if sizes[len(sizes)-1] != 10000 {
+		t.Fatalf("last size %d", sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatal("sizes not strictly increasing")
+		}
+	}
+	if got := GeometricSizes(50, 50, 3); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("degenerate range: %v", got)
+	}
+	if got := GeometricSizes(10, 1000, 1); len(got) != 1 || got[0] != 1000 {
+		t.Fatalf("single point: %v", got)
+	}
+}
+
+func TestGeometricSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeometricSizes(0, 10, 3)
+}
+
+// Property: the summary mean always lies between min and max, and the
+// quantile function is monotone in q.
+func TestSummaryAndQuantileProperties(t *testing.T) {
+	rng := xrand.New(3)
+	check := func(raw uint8) bool {
+		n := 1 + int(raw%60)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		s := NewSummary(vals)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := Quantile(vals, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
