@@ -19,6 +19,7 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
+	"navaug/internal/dist"
 	"navaug/internal/experiments"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
@@ -148,6 +149,52 @@ func BenchmarkTheorem2ContactDraw(b *testing.B) {
 		u := graph.NodeID(rng.Intn(g.N()))
 		if c := inst.Contact(u, rng); int(c) >= g.N() {
 			b.Fatal("bad contact")
+		}
+	}
+}
+
+// BenchmarkAPSP measures the parallel exact distance-matrix construction
+// (the Theorem 2 default metric) on a 2304-node grid.
+func BenchmarkAPSP(b *testing.B) {
+	g := gen.Grid2D(48, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := dist.NewAPSP(g)
+		if a.Dist(0, graph.NodeID(g.N()-1)) != 94 {
+			b.Fatal("bad corner distance")
+		}
+	}
+}
+
+// BenchmarkLandmarkOracle measures landmark-sketch construction (16
+// farthest-point landmarks) on a 65536-node grid, the large-n fallback
+// where the exact matrix stops being feasible.
+func BenchmarkLandmarkOracle(b *testing.B) {
+	g := gen.Grid2D(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := dist.NewLandmarkOracle(g, 16, xrand.New(1))
+		if o.K() != 16 {
+			b.Fatal("bad landmark count")
+		}
+	}
+}
+
+// BenchmarkLandmarkOracleQuery measures a single O(k) bound query against
+// the oracle built above.
+func BenchmarkLandmarkOracleQuery(b *testing.B) {
+	g := gen.Grid2D(256, 256)
+	o := dist.NewLandmarkOracle(g, 16, xrand.New(1))
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		v := graph.NodeID(rng.Intn(g.N()))
+		if o.Dist(u, v) < 0 {
+			b.Fatal("grid pair reported unreachable")
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module navaug
+
+go 1.24

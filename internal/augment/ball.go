@@ -47,21 +47,14 @@ func (s *BallScheme) Name() string {
 	}
 }
 
-// ballInstance carries the read-only graph and a pool of scratch buffers for
-// the bounded BFS used to enumerate balls.
+// ballInstance carries the read-only graph and a pool of dist.BallBuffer
+// scratch buffers for the bounded BFS used to enumerate balls.
 type ballInstance struct {
 	g         *graph.Graph
 	maxScale  int
 	fixed     int
 	rankUnif  bool
 	scratches sync.Pool
-}
-
-type ballScratch struct {
-	seen  []int32 // epoch marks
-	epoch int32
-	queue []graph.NodeID
-	dists []int32
 }
 
 // Prepare implements Scheme.
@@ -78,13 +71,7 @@ func (s *BallScheme) Prepare(g *graph.Graph) (Instance, error) {
 		return nil, fmt.Errorf("augment: fixed scale %d exceeds ⌈log n⌉ = %d", s.FixedScale, maxScale)
 	}
 	inst := &ballInstance{g: g, maxScale: maxScale, fixed: s.FixedScale, rankUnif: s.RankUniform}
-	inst.scratches.New = func() any {
-		return &ballScratch{
-			seen:  make([]int32, n),
-			queue: make([]graph.NodeID, 0, 64),
-			dists: make([]int32, 0, 64),
-		}
-	}
+	inst.scratches.New = func() any { return dist.NewBallBuffer(n) }
 	return inst, nil
 }
 
@@ -100,9 +87,9 @@ func (b *ballInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
 	} else {
 		radius = int32(b.g.N()) // effectively unbounded
 	}
-	sc := b.scratches.Get().(*ballScratch)
+	sc := b.scratches.Get().(*dist.BallBuffer)
 	defer b.scratches.Put(sc)
-	nodes, dists := sc.boundedBFS(b.g, u, radius)
+	nodes, dists := sc.Ball(b.g, u, radius)
 	if b.rankUnif {
 		// Ablation: uniform over distances then uniform over the sphere.
 		d := int32(rng.Intn(int(radius) + 1))
@@ -134,8 +121,8 @@ func (b *ballInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
 // ablation's distribution is assembled per distance class instead.
 func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
 	n := b.g.N()
-	dist := make([]float64, n)
-	sc := b.scratches.Get().(*ballScratch)
+	phi := make([]float64, n)
+	sc := b.scratches.Get().(*dist.BallBuffer)
 	defer b.scratches.Put(sc)
 
 	scales := make([]int, 0, b.maxScale)
@@ -154,7 +141,7 @@ func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
 		} else {
 			radius = int32(n)
 		}
-		nodes, dists := sc.boundedBFS(b.g, u, radius)
+		nodes, dists := sc.Ball(b.g, u, radius)
 		if b.rankUnif {
 			// Uniform over distances 0..radius, then uniform on the sphere at
 			// that distance; empty spheres fall back to the whole ball.
@@ -171,47 +158,14 @@ func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
 			pDist := 1.0 / float64(radius+1)
 			fallback := float64(emptySpheres) * pDist / float64(len(nodes))
 			for i, v := range nodes {
-				dist[v] += pScale * (pDist/float64(counts[dists[i]]) + fallback)
+				phi[v] += pScale * (pDist/float64(counts[dists[i]]) + fallback)
 			}
 		} else {
 			p := pScale / float64(len(nodes))
 			for _, v := range nodes {
-				dist[v] += p
+				phi[v] += p
 			}
 		}
 	}
-	return dist
-}
-
-// boundedBFS enumerates the ball B(src, radius) using epoch-marked scratch
-// buffers so repeated draws do not allocate.  Nodes come out in
-// non-decreasing distance order.
-func (sc *ballScratch) boundedBFS(g *graph.Graph, src graph.NodeID, radius int32) ([]graph.NodeID, []int32) {
-	sc.epoch++
-	if sc.epoch == 0 { // wrapped around; clear marks
-		for i := range sc.seen {
-			sc.seen[i] = 0
-		}
-		sc.epoch = 1
-	}
-	sc.queue = sc.queue[:0]
-	sc.dists = sc.dists[:0]
-	sc.seen[src] = sc.epoch
-	sc.queue = append(sc.queue, src)
-	sc.dists = append(sc.dists, 0)
-	for head := 0; head < len(sc.queue); head++ {
-		u := sc.queue[head]
-		du := sc.dists[head]
-		if du == radius {
-			continue
-		}
-		for _, v := range g.Neighbors(u) {
-			if sc.seen[v] != sc.epoch {
-				sc.seen[v] = sc.epoch
-				sc.queue = append(sc.queue, v)
-				sc.dists = append(sc.dists, du+1)
-			}
-		}
-	}
-	return sc.queue, sc.dists
+	return phi
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"navaug/internal/decomp"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/label"
 	"navaug/internal/xrand"
@@ -75,8 +76,7 @@ func (s *Theorem2Scheme) Prepare(g *graph.Graph) (Instance, error) {
 	decompose := s.Decompose
 	if decompose == nil {
 		decompose = func(g *graph.Graph) (*decomp.PathDecomposition, error) {
-			oracle := newSmallAPSP(g)
-			pd, _ := decomp.Best(g, oracle)
+			pd, _ := decomp.Best(g, dist.NewAPSP(g).Dist)
 			return pd, nil
 		}
 	}
@@ -138,7 +138,7 @@ func (t *theorem2Instance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID 
 // gives each ancestor label j of L(u) probability 1/(1+log2 n) split evenly
 // among the nodes labeled j (unspent ancestor mass stays on u as "no link").
 func (t *theorem2Instance) ContactDistribution(u graph.NodeID) []float64 {
-	dist := make([]float64, t.n)
+	phi := make([]float64, t.n)
 	uniformHalf := 0.5
 	ancestorHalf := 0.5
 	if t.ancestorOnly {
@@ -147,8 +147,8 @@ func (t *theorem2Instance) ContactDistribution(u graph.NodeID) []float64 {
 	}
 	if uniformHalf > 0 {
 		p := uniformHalf / float64(t.n)
-		for v := range dist {
-			dist[v] += p
+		for v := range phi {
+			phi[v] += p
 		}
 	}
 	spent := 0.0
@@ -162,23 +162,11 @@ func (t *theorem2Instance) ContactDistribution(u graph.NodeID) []float64 {
 		}
 		p := ancestorHalf * t.ancProb / float64(len(cands))
 		for _, v := range cands {
-			dist[v] += p
+			phi[v] += p
 		}
 		spent += ancestorHalf * t.ancProb
 	}
 	// Whatever the ancestor half did not spend is "no link" mass on u.
-	dist[u] += ancestorHalf - spent
-	return dist
-}
-
-// newSmallAPSP returns an exact metric closure usable as a distFn for
-// decomp.Best on small graphs without importing internal/dist (which would
-// be fine dependency-wise but this keeps the hot path self-contained).
-func newSmallAPSP(g *graph.Graph) func(u, v graph.NodeID) int32 {
-	n := g.N()
-	rows := make([][]int32, n)
-	for u := 0; u < n; u++ {
-		rows[u] = g.BFS(graph.NodeID(u))
-	}
-	return func(u, v graph.NodeID) int32 { return rows[u][v] }
+	phi[u] += ancestorHalf - spent
+	return phi
 }

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"navaug/internal/graph"
+)
+
+// APSP is an exact all-pairs shortest-path oracle.  Distances are stored in
+// one flat row-major int32 matrix, so a query is a single indexed load and
+// a whole row (a distance field) can be handed out without copying.  The
+// matrix is immutable after construction and safe for concurrent readers.
+type APSP struct {
+	n int32
+	d []int32 // row-major n×n, d[u*n+v] = dist(u, v)
+}
+
+// APSPOptions tunes NewAPSPWith.
+type APSPOptions struct {
+	// Workers is the BFS worker-pool size; <= 0 means GOMAXPROCS.  The
+	// resulting matrix is identical for every worker count: each worker
+	// claims whole rows and rows are pure functions of the graph.
+	Workers int
+}
+
+// NewAPSP computes the exact distance matrix of g using all CPUs.
+func NewAPSP(g *graph.Graph) *APSP {
+	return NewAPSPWith(g, APSPOptions{})
+}
+
+// NewAPSPWith computes the exact distance matrix of g with the given
+// options.  Construction costs O(n·(n+m)) time and n² int32 of memory.
+func NewAPSPWith(g *graph.Graph, opts APSPOptions) *APSP {
+	n := g.N()
+	a := &APSP{n: int32(n), d: make([]int32, n*n)}
+	if n == 0 {
+		return a
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queue := make([]int32, 0, n)
+			for {
+				u := next.Add(1) - 1
+				if u >= int64(n) {
+					return
+				}
+				row := a.d[int(u)*n : (int(u)+1)*n]
+				for i := range row {
+					row[i] = graph.Unreachable
+				}
+				g.BFSInto(graph.NodeID(u), row, queue)
+			}
+		}()
+	}
+	wg.Wait()
+	return a
+}
+
+// N returns the number of nodes the oracle covers.
+func (a *APSP) N() int { return int(a.n) }
+
+// Dist returns the exact hop distance between u and v, or
+// graph.Unreachable if they lie in different components.
+func (a *APSP) Dist(u, v graph.NodeID) int32 {
+	return a.d[int64(u)*int64(a.n)+int64(v)]
+}
+
+// Row returns the full distance field from u as a shared, read-only slice
+// of length N.  Callers must not modify it.
+func (a *APSP) Row(u graph.NodeID) []int32 {
+	return a.d[int64(u)*int64(a.n) : (int64(u)+1)*int64(a.n)]
+}
+
+// Eccentricity returns the maximum distance from u to any node, or -1 if
+// some node is unreachable from u.
+func (a *APSP) Eccentricity(u graph.NodeID) int32 {
+	ecc := int32(0)
+	for _, d := range a.Row(u) {
+		if d == graph.Unreachable {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter, or -1 for disconnected graphs
+// (0 for the empty graph).
+func (a *APSP) Diameter() int32 {
+	best := int32(0)
+	for u := int32(0); u < a.n; u++ {
+		e := a.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > best {
+			best = e
+		}
+	}
+	return best
+}

@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// EstimateDiameter returns a lower bound on the diameter of g obtained by
+// repeated double sweeps: each sweep runs a BFS from a random start, then a
+// BFS from the farthest node found, and records the largest distance seen.
+// On trees a single sweep is exact; on general connected graphs the bound
+// is always at least half the true diameter (any eccentricity is).  The
+// cost is 2·sweeps BFS traversals, reusing one pair of scratch buffers.
+// Disconnected graphs are bounded by the components the sweeps land in;
+// the empty graph yields 0.
+func EstimateDiameter(g *graph.Graph, sweeps int, rng *xrand.RNG) int32 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	best := int32(0)
+	for s := 0; s < sweeps; s++ {
+		start := graph.NodeID(rng.Intn(n))
+		far, _ := farthest(g, start, dist, queue)
+		_, d := farthest(g, far, dist, queue)
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// farthest runs one BFS from src using the provided scratch buffers and
+// returns a farthest reached node together with its distance.
+func farthest(g *graph.Graph, src graph.NodeID, dist []int32, queue []int32) (graph.NodeID, int32) {
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	g.BFSInto(src, dist, queue)
+	far, fd := src, int32(0)
+	for v, d := range dist {
+		if d > fd {
+			far, fd = graph.NodeID(v), d
+		}
+	}
+	return far, fd
+}

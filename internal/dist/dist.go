@@ -1,0 +1,68 @@
+// Package dist is the distance-oracle layer shared by every augmentation
+// scheme and by the Monte Carlo engine.
+//
+// The package offers three tiers of distance information, trading
+// preprocessing cost against query cost:
+//
+//   - APSP: an exact all-pairs oracle backed by one flat int32 matrix,
+//     computed by a worker pool of BFS sweeps.  O(n·(n+m)) preprocessing and
+//     O(n²) memory, O(1) queries.  The right tool up to a few thousand
+//     nodes, and what the path-decomposition machinery feeds on.
+//   - LandmarkOracle: an approximate oracle built from k landmark BFS
+//     trees.  O(k·(n+m)) preprocessing, O(k) queries returning triangle-
+//     inequality lower/upper bounds.  The fallback when n makes the exact
+//     matrix infeasible.
+//   - FieldCache: a concurrent cache of single-source distance fields,
+//     amortising the per-target BFS that greedy routing needs across
+//     trials, pairs and scheme comparisons.
+//
+// NewOracle picks between the exact and landmark tiers automatically.  The
+// bounded-ball enumeration used by the Theorem 4 scheme (Ball, BallBuffer)
+// lives here too so that its scratch-buffer discipline is shared rather
+// than duplicated per scheme.
+package dist
+
+import (
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// Oracle answers hop-distance queries on a fixed graph.  Implementations
+// must be safe for concurrent readers once constructed.  Exact oracles
+// (APSP) return the true distance; approximate ones (LandmarkOracle) return
+// an upper bound.  Unreachable pairs yield graph.Unreachable (-1).
+type Oracle interface {
+	Dist(u, v graph.NodeID) int32
+}
+
+// apspMaxNodes is the largest node count for which NewOracle builds the
+// exact matrix: beyond it the n² int32 matrix (≥ 1 GiB at 16k nodes)
+// stops being a sensible default and landmark sketches take over.
+const apspMaxNodes = 8192
+
+// defaultLandmarks is the sketch size NewOracle uses for large graphs.
+const defaultLandmarks = 32
+
+// NewOracle returns a distance oracle suitable for g's size: the exact
+// APSP matrix up to apspMaxNodes nodes, a landmark sketch beyond that.
+// The rng only influences landmark selection and may be nil for small
+// graphs; large graphs with a nil rng use a fixed seed.
+func NewOracle(g *graph.Graph, rng *xrand.RNG) Oracle {
+	if g.N() <= apspMaxNodes {
+		return NewAPSP(g)
+	}
+	if rng == nil {
+		rng = xrand.New(1)
+	}
+	return NewLandmarkOracle(g, defaultLandmarks, rng)
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1 (and 0 for n ≤ 1).  It is the number
+// of ball scales the Theorem 4 scheme mixes over.
+func CeilLog2(n int) int {
+	k := 0
+	for s := 1; s < n; s *= 2 {
+		k++
+	}
+	return k
+}

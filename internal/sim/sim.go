@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"navaug/internal/augment"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/route"
 	"navaug/internal/stats"
@@ -47,6 +48,13 @@ type Config struct {
 	// Lookahead routes with one hop of neighbour-of-neighbour lookahead
 	// (extension experiment) instead of plain greedy routing.
 	Lookahead bool
+	// DistFields, when non-nil, supplies the per-target distance fields
+	// greedy routing steers by.  It must be a cache over the same graph.
+	// When nil a private cache is created per estimation run; CompareSchemes
+	// shares one cache across its schemes (same graph, same pairs), so each
+	// target's BFS is paid once rather than once per scheme.  Fields are
+	// deterministic, so sharing never affects results.
+	DistFields *dist.FieldCache
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +113,14 @@ func EstimateGreedyDiameter(g *graph.Graph, scheme augment.Scheme, cfg Config) (
 	pairs, err := selectPairs(g, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DistFields == nil {
+		// A private per-run cache: bounded near the worker count because each
+		// pair fetches its field once and holds it for all trials, so keeping
+		// more than the concurrently-active fields would only pin memory.
+		cfg.DistFields = dist.NewFieldCache(g, cfg.Workers+1)
+	} else if cfg.DistFields.Graph() != g {
+		return nil, fmt.Errorf("sim: Config.DistFields was built over a different graph")
 	}
 
 	results := make([]PairStats, len(pairs))
@@ -224,7 +240,7 @@ func extremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
 
 // runPair executes all trials of one pair.
 func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Config) (PairStats, error) {
-	distToTarget := g.BFS(p.Target)
+	distToTarget := cfg.DistFields.Field(p.Target)
 	if distToTarget[p.Source] == graph.Unreachable {
 		return PairStats{}, fmt.Errorf("sim: pair (%d,%d) is disconnected", p.Source, p.Target)
 	}
@@ -263,6 +279,9 @@ func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Con
 // the same configuration (and therefore the same sampled pairs), returning
 // estimates in the order the schemes were given.
 func CompareSchemes(g *graph.Graph, schemes []augment.Scheme, cfg Config) ([]*Estimate, error) {
+	if cfg.DistFields == nil {
+		cfg.DistFields = dist.NewFieldCache(g, 0)
+	}
 	out := make([]*Estimate, 0, len(schemes))
 	for _, s := range schemes {
 		est, err := EstimateGreedyDiameter(g, s, cfg)
@@ -292,6 +311,9 @@ func Sweep(sizes []int, build func(n int) (*graph.Graph, error), scheme augment.
 		}
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		// Every size is a different graph, so a caller-supplied field cache
+		// must not leak across sizes; each estimation builds its own.
+		c.DistFields = nil
 		est, err := EstimateGreedyDiameter(g, scheme, c)
 		if err != nil {
 			return nil, fmt.Errorf("sim: n=%d: %w", n, err)

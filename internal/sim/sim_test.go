@@ -6,6 +6,7 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 )
@@ -162,6 +163,37 @@ func TestBallSchemeBeatsUniformOnLargePath(t *testing.T) {
 	if ball.GreedyDiameter >= uniform.GreedyDiameter {
 		t.Fatalf("ball scheme (%v) did not beat uniform (%v) on n=8000 path",
 			ball.GreedyDiameter, uniform.GreedyDiameter)
+	}
+}
+
+func TestSharedDistFieldsMatchPrivate(t *testing.T) {
+	// A caller-supplied field cache must leave results untouched (fields are
+	// deterministic) while amortising the per-target BFS across schemes.
+	g := gen.Grid2D(15, 15)
+	cfg := Config{Pairs: 6, Trials: 3, Seed: 41, IncludeExtremalPair: true}
+	private, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cfg
+	shared.DistFields = dist.NewFieldCache(g, 0)
+	cached, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private.MeanSteps != cached.MeanSteps || private.GreedyDiameter != cached.GreedyDiameter {
+		t.Fatalf("shared cache changed results: %v vs %v", private.MeanSteps, cached.MeanSteps)
+	}
+	if shared.DistFields.Len() == 0 {
+		t.Fatal("shared cache was never used")
+	}
+	// A second run over the same pairs must not grow the cache.
+	before := shared.DistFields.Len()
+	if _, err := EstimateGreedyDiameter(g, augment.NewBallScheme(), shared); err != nil {
+		t.Fatal(err)
+	}
+	if shared.DistFields.Len() != before {
+		t.Fatalf("cache grew from %d to %d on identical pairs", before, shared.DistFields.Len())
 	}
 }
 
