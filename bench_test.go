@@ -23,6 +23,7 @@ import (
 	"navaug/internal/experiments"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
+	"navaug/internal/route"
 	"navaug/internal/sim"
 	"navaug/internal/xrand"
 )
@@ -197,6 +198,131 @@ func BenchmarkLandmarkOracleQuery(b *testing.B) {
 			b.Fatal("grid pair reported unreachable")
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Contact micro-benchmarks: one steady-state long-range draw per iteration
+// on the n=4096 mesh (64x64 grid).  These pin the Prepare-vs-Contact cost
+// contract: Prepare may be heavy (it runs outside the timer), Contact must
+// be O(1) amortised and allocation-free.
+// ---------------------------------------------------------------------------
+
+// sinkNode keeps the compiler from eliding the Contact calls.
+var sinkNode graph.NodeID
+
+func benchmarkContact(b *testing.B, scheme augment.Scheme, g *graph.Graph) {
+	inst, err := scheme.Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	// Pre-draw the query nodes so the timer sees only Contact.
+	const mask = 1<<10 - 1
+	us := make([]graph.NodeID, mask+1)
+	for i := range us {
+		us[i] = graph.NodeID(rng.Intn(g.N()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkNode = inst.Contact(us[i&mask], rng)
+	}
+}
+
+func meshGraph() *graph.Graph { return gen.Grid2D(64, 64) }
+
+func BenchmarkContact_uniform(b *testing.B) {
+	benchmarkContact(b, augment.NewUniformScheme(), meshGraph())
+}
+
+// The harmonic and ball benchmarks prepare eagerly so the timer sees the
+// steady-state O(1) draw, not the one-off lazy row builds.
+
+func BenchmarkContact_harmonic(b *testing.B) {
+	benchmarkContact(b, &augment.HarmonicScheme{Exponent: 2, EagerPrepare: true}, meshGraph())
+}
+
+func BenchmarkContact_harmonicR1(b *testing.B) {
+	benchmarkContact(b, &augment.HarmonicScheme{Exponent: 1, EagerPrepare: true}, meshGraph())
+}
+
+func BenchmarkContact_theorem2(b *testing.B) {
+	benchmarkContact(b, augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+		return decomp.BFSLayers(g, 0)
+	}), meshGraph())
+}
+
+func BenchmarkContact_ball(b *testing.B) {
+	benchmarkContact(b, &augment.BallScheme{EagerPrepare: true}, meshGraph())
+}
+
+func BenchmarkContact_matrix(b *testing.B) {
+	g := meshGraph()
+	labels, err := augment.NewBlockLabels(g.N(), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkContact(b, &augment.MatrixLabelingScheme{
+		Matrix: augment.NewHarmonicMatrix(512),
+		Labels: labels,
+	}, g)
+}
+
+// BenchmarkRoutingTrial_harmonic measures one complete greedy routing trial
+// (extremal pair of the n=4096 mesh) with a reused route.Scratch: the
+// steady-state unit of Monte Carlo work, which must not allocate at all.
+func BenchmarkRoutingTrial_harmonic(b *testing.B) {
+	g := meshGraph()
+	inst, err := (&augment.HarmonicScheme{Exponent: 2, EagerPrepare: true}).Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, t, _ := dist.ExtremalPair(g)
+	d := g.BFS(t)
+	scratch := route.NewScratch(g.N())
+	rng := xrand.New(3)
+	opts := route.Options{Scratch: scratch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := route.Greedy(g, inst, s, t, d, rng, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reached {
+			b.Fatal("trial hit the step cap")
+		}
+	}
+}
+
+// benchmarkEstimateEndToEnd measures a whole greedy-diameter estimation of
+// the harmonic scheme on the n=4096 mesh at the sim default scale (16 pairs
+// x 8 trials) — the macro path the Contact micro-benchmarks feed: Prepare
+// once, then 128 routed walks.
+func benchmarkEstimateEndToEnd(b *testing.B, scheme augment.Scheme) {
+	g := meshGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := sim.EstimateGreedyDiameter(g, scheme,
+			sim.Config{Seed: 1, IncludeExtremalPair: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(est.GreedyDiameter, "greedy-diam")
+	}
+}
+
+func BenchmarkEstimate_EndToEnd(b *testing.B) {
+	benchmarkEstimateEndToEnd(b, augment.NewHarmonicScheme(2))
+}
+
+// BenchmarkEstimate_EndToEnd_NoPrecompute pins the cost of the
+// bounded-memory fallback path (one BFS + CDF scan per draw), which is what
+// harmonic estimation degrades to above the precompute threshold — and,
+// power-table aside, what every draw cost before the sampler subsystem.
+func BenchmarkEstimate_EndToEnd_NoPrecompute(b *testing.B) {
+	benchmarkEstimateEndToEnd(b, &augment.HarmonicScheme{Exponent: 2, MaxPrecomputeNodes: -1})
 }
 
 // BenchmarkGreedyDiameterEstimateBallGrid measures a full greedy-diameter

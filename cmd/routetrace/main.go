@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"navaug/internal/core"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/route"
 	"navaug/internal/xrand"
@@ -54,7 +55,7 @@ func run(family string, n int, schemeName string, src, dst int, seed uint64, loo
 
 	s, t := graph.NodeID(src), graph.NodeID(dst)
 	if src < 0 || dst < 0 {
-		s, t = extremalPair(g)
+		s, t, _ = dist.ExtremalPair(g)
 	}
 	distToTarget := g.BFS(t)
 	if distToTarget[s] == graph.Unreachable {
@@ -87,22 +88,4 @@ func run(family string, n int, schemeName string, src, dst int, seed uint64, loo
 		fmt.Printf("  %4d: node %-8d dist %-6d%s\n", i, v, distToTarget[v], marker)
 	}
 	return nil
-}
-
-func extremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
-	d1 := g.BFS(0)
-	a := graph.NodeID(0)
-	for v, d := range d1 {
-		if d > d1[a] {
-			a = graph.NodeID(v)
-		}
-	}
-	d2 := g.BFS(a)
-	b := a
-	for v, d := range d2 {
-		if d > d2[b] {
-			b = graph.NodeID(v)
-		}
-	}
-	return a, b
 }

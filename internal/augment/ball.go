@@ -2,10 +2,12 @@ package augment
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"navaug/internal/dist"
 	"navaug/internal/graph"
+	"navaug/internal/sampler"
 	"navaug/internal/xrand"
 )
 
@@ -28,6 +30,16 @@ type BallScheme struct {
 	// d uniformly in [0, 2^k] and then a uniform node at distance exactly d
 	// (if any), instead of uniformly over the ball.  Second E10 ablation.
 	RankUniform bool
+	// MaxPrecomputeNodes bounds the graph size up to which the instance
+	// collapses the scale mixture into one per-node alias table (O(1) draws
+	// after a node's first, O(n²) ints of memory).  Beyond it every draw
+	// re-enumerates a ball with a pooled buffer.  Zero means
+	// DefaultPrecomputeNodes; negative disables the tables.  The
+	// RankUniform ablation always uses the enumeration path.
+	MaxPrecomputeNodes int
+	// EagerPrepare builds every node's alias table already in Prepare with
+	// a parallel all-nodes pass instead of lazily on first draw.
+	EagerPrepare bool
 }
 
 // NewBallScheme returns the Theorem 4 scheme.
@@ -47,17 +59,26 @@ func (s *BallScheme) Name() string {
 	}
 }
 
-// ballInstance carries the read-only graph and a pool of dist.BallBuffer
-// scratch buffers for the bounded BFS used to enumerate balls.
+// ballInstance carries the read-only graph, optional per-node alias tables
+// over the composite contact distribution, and a pool of dist.BallBuffer
+// scratch buffers for ball enumeration (row fills and the BFS fallback).
 type ballInstance struct {
-	g         *graph.Graph
-	maxScale  int
-	fixed     int
-	rankUnif  bool
+	g        *graph.Graph
+	maxScale int
+	fixed    int
+	rankUnif bool
+	// tables holds the per-node alias rows over φ_u (nil above the
+	// precompute threshold and for the RankUniform ablation).
+	tables    *sampler.LazyRows
 	scratches sync.Pool
 }
 
-// Prepare implements Scheme.
+// Prepare implements Scheme.  Within the precompute threshold (and outside
+// the RankUniform ablation) the instance folds each node's uniform-scale
+// ball mixture into one alias table — built lazily on the node's first
+// draw, or all up front with EagerPrepare — making Contact a single O(1)
+// draw.  Otherwise Contact re-enumerates the drawn ball from a pooled
+// buffer.
 func (s *BallScheme) Prepare(g *graph.Graph) (Instance, error) {
 	n := g.N()
 	if n == 0 {
@@ -72,21 +93,92 @@ func (s *BallScheme) Prepare(g *graph.Graph) (Instance, error) {
 	}
 	inst := &ballInstance{g: g, maxScale: maxScale, fixed: s.FixedScale, rankUnif: s.RankUniform}
 	inst.scratches.New = func() any { return dist.NewBallBuffer(n) }
+	if !s.RankUniform && n <= precomputeLimit(s.MaxPrecomputeNodes) {
+		inst.tables = sampler.NewLazyRows(n, n, inst)
+		if s.EagerPrepare {
+			inst.tables.BuildAll(runtime.GOMAXPROCS(0))
+		}
+	}
 	return inst, nil
+}
+
+// FillRow implements sampler.RowFiller with the composite distribution of
+// node u's contact.
+func (b *ballInstance) FillRow(u int32, weights []float64) {
+	sc := b.scratches.Get().(*dist.BallBuffer)
+	defer b.scratches.Put(sc)
+	b.fillWeights(u, sc, weights)
+}
+
+// scaleRadius returns the ball radius of scale k: 2^k, with n standing in
+// when the shift would overflow (effectively unbounded).  The raw 2^k is
+// kept even when it exceeds n because the RankUniform ablation draws a
+// distance uniformly in [0, radius], so clamping would change its law.
+func (b *ballInstance) scaleRadius(k int) int32 {
+	if k < 31 {
+		return int32(1) << uint(k)
+	}
+	return int32(b.g.N())
+}
+
+// fillWeights computes the composite contact distribution φ_u into weights
+// (length n): each admissible scale contributes 1/(scales·|B_k(u)|) to
+// every member of B(u, 2^k).  The ball always contains u itself, whose
+// entry carries the "no link" mass, exactly as the sampling process does.
+//
+// One enumeration at the largest radius suffices for every scale: the ball
+// lists nodes in non-decreasing distance order, so each B_k is a prefix,
+// and φ_u(v) = Σ_{k ≥ r(v)} pScale/|B_k| is a suffix sum over scales.
+func (b *ballInstance) fillWeights(u graph.NodeID, sc *dist.BallBuffer, weights []float64) {
+	for i := range weights {
+		weights[i] = 0
+	}
+	loK, hiK := 1, b.maxScale
+	if b.fixed > 0 {
+		loK, hiK = b.fixed, b.fixed
+	}
+	pScale := 1.0 / float64(hiK-loK+1)
+	nodes, dists := sc.Ball(b.g, u, b.scaleRadius(hiK))
+	// suffix[k-loK] = Σ_{j ≥ k} pScale/|B_j(u)|, with |B_j| read off as the
+	// prefix length of nodes within radius 2^j.  maxScale = ⌈log₂ n⌉ ≤ 31
+	// for int32 node ids, so fixed-size stacks keep row builds allocation
+	// free.
+	var suffixArr [33]float64
+	var sizesArr [32]int
+	suffix := suffixArr[:hiK-loK+2]
+	sizes := sizesArr[:hiK-loK+1]
+	end := 0
+	for k := loK; k <= hiK; k++ {
+		radius := b.scaleRadius(k)
+		for end < len(dists) && dists[end] <= radius {
+			end++
+		}
+		sizes[k-loK] = end
+	}
+	for k := hiK; k >= loK; k-- {
+		suffix[k-loK] = suffix[k-loK+1] + pScale/float64(sizes[k-loK])
+	}
+	// Nodes arrive in non-decreasing distance, so the smallest admissible
+	// scale only ever moves forward.
+	k := loK
+	for i, v := range nodes {
+		for dists[i] > b.scaleRadius(k) {
+			k++
+		}
+		weights[v] = suffix[k-loK]
+	}
 }
 
 // Contact implements Instance.
 func (b *ballInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	if b.tables != nil {
+		return b.tables.Draw(u, rng)
+	}
 	k := b.fixed
 	if k == 0 {
 		k = 1 + rng.Intn(b.maxScale)
 	}
-	radius := int32(1)
-	if k < 31 {
-		radius = int32(1) << uint(k)
-	} else {
-		radius = int32(b.g.N()) // effectively unbounded
-	}
+	radius := b.scaleRadius(k)
 	sc := b.scratches.Get().(*dist.BallBuffer)
 	defer b.scratches.Put(sc)
 	nodes, dists := sc.Ball(b.g, u, radius)
@@ -124,6 +216,10 @@ func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
 	phi := make([]float64, n)
 	sc := b.scratches.Get().(*dist.BallBuffer)
 	defer b.scratches.Put(sc)
+	if !b.rankUnif {
+		b.fillWeights(u, sc, phi)
+		return phi
+	}
 
 	scales := make([]int, 0, b.maxScale)
 	if b.fixed > 0 {
@@ -135,36 +231,24 @@ func (b *ballInstance) ContactDistribution(u graph.NodeID) []float64 {
 	}
 	pScale := 1.0 / float64(len(scales))
 	for _, k := range scales {
-		radius := int32(1)
-		if k < 31 {
-			radius = int32(1) << uint(k)
-		} else {
-			radius = int32(n)
-		}
+		radius := b.scaleRadius(k)
 		nodes, dists := sc.Ball(b.g, u, radius)
-		if b.rankUnif {
-			// Uniform over distances 0..radius, then uniform on the sphere at
-			// that distance; empty spheres fall back to the whole ball.
-			counts := make(map[int32]int, 8)
-			for _, d := range dists {
-				counts[d]++
+		// Uniform over distances 0..radius, then uniform on the sphere at
+		// that distance; empty spheres fall back to the whole ball.
+		counts := make(map[int32]int, 8)
+		for _, d := range dists {
+			counts[d]++
+		}
+		emptySpheres := 0
+		for d := int32(0); d <= radius; d++ {
+			if counts[d] == 0 {
+				emptySpheres++
 			}
-			emptySpheres := 0
-			for d := int32(0); d <= radius; d++ {
-				if counts[d] == 0 {
-					emptySpheres++
-				}
-			}
-			pDist := 1.0 / float64(radius+1)
-			fallback := float64(emptySpheres) * pDist / float64(len(nodes))
-			for i, v := range nodes {
-				phi[v] += pScale * (pDist/float64(counts[dists[i]]) + fallback)
-			}
-		} else {
-			p := pScale / float64(len(nodes))
-			for _, v := range nodes {
-				phi[v] += p
-			}
+		}
+		pDist := 1.0 / float64(radius+1)
+		fallback := float64(emptySpheres) * pDist / float64(len(nodes))
+		for i, v := range nodes {
+			phi[v] += pScale * (pDist/float64(counts[dists[i]]) + fallback)
 		}
 	}
 	return phi

@@ -113,6 +113,124 @@ func TestSamplerMatchesDistribution(t *testing.T) {
 	}
 }
 
+// chiSquareQuantile approximates the upper quantile of the χ² distribution
+// with df degrees of freedom via the Wilson–Hilferty transform; z is the
+// standard-normal quantile of the desired significance level.
+func chiSquareQuantile(df int, z float64) float64 {
+	d := float64(df)
+	c := 2.0 / (9.0 * d)
+	x := 1 - c + z*math.Sqrt(c)
+	return d * x * x * x
+}
+
+// TestSamplerChiSquareGoodnessOfFit is the statistical contract behind the
+// O(1) samplers: for every shipped scheme, the empirical contact frequencies
+// must fit the analytic ContactDistribution under a χ² goodness-of-fit test.
+// Outcomes with expected count below 5 are pooled into one bin, per the
+// usual validity rule.  Seeds are derived per (scheme, node), so the test is
+// deterministic; the significance level (z = 4, roughly 3e-5 one-sided)
+// keeps false alarms negligible across the ~30 tests while still failing
+// hard on any systematically wrong sampler.
+func TestSamplerChiSquareGoodnessOfFit(t *testing.T) {
+	const draws = 50000
+	for name, c := range allDistributionalSchemes(t) {
+		n := c.g.N()
+		seed := uint64(0x601d)
+		for _, ch := range name {
+			seed = seed*131 + uint64(ch)
+		}
+		for _, u := range []graph.NodeID{0, graph.NodeID(n / 2), graph.NodeID(n - 1)} {
+			want := c.inst.ContactDistribution(u)
+			rng := xrand.New(seed + uint64(u)*0x9e3779b97f4a7c15)
+			counts := make([]int, n)
+			for i := 0; i < draws; i++ {
+				counts[c.inst.Contact(u, rng)]++
+			}
+			chi2 := 0.0
+			bins := 0
+			pooledExp, pooledObs := 0.0, 0.0
+			for v, p := range want {
+				exp := p * draws
+				if exp == 0 {
+					continue // covered by the zero-probability property test
+				}
+				if exp < 5 {
+					pooledExp += exp
+					pooledObs += float64(counts[v])
+					continue
+				}
+				diff := float64(counts[v]) - exp
+				chi2 += diff * diff / exp
+				bins++
+			}
+			if pooledExp >= 5 {
+				diff := pooledObs - pooledExp
+				chi2 += diff * diff / pooledExp
+				bins++
+			}
+			if bins < 2 {
+				continue // degenerate distribution (e.g. all mass on one node)
+			}
+			if limit := chiSquareQuantile(bins-1, 4); chi2 > limit {
+				t.Fatalf("%s: node %d: χ² = %.1f over %d bins exceeds %.1f — sampler does not match ContactDistribution",
+					name, u, chi2, bins, limit)
+			}
+		}
+	}
+}
+
+// TestSamplerNeverReturnsZeroProbabilityNode is the hard half of the
+// sampler/distribution contract: a node with φ_u(v) = 0 must never be
+// drawn, not merely be rare — the alias tables guarantee zero-weight
+// outcomes are unreachable, and the fallback paths skip zero weights.
+func TestSamplerNeverReturnsZeroProbabilityNode(t *testing.T) {
+	const draws = 20000
+	rng := xrand.New(0xbad0)
+	for name, c := range allDistributionalSchemes(t) {
+		n := c.g.N()
+		for _, u := range []graph.NodeID{0, graph.NodeID(n / 2), graph.NodeID(n - 1)} {
+			want := c.inst.ContactDistribution(u)
+			for i := 0; i < draws; i++ {
+				v := c.inst.Contact(u, rng)
+				if want[v] == 0 {
+					t.Fatalf("%s: node %d drew contact %d which has zero probability", name, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleRowNeverReturnsZeroProbabilityColumn is the matrix-level form
+// of the property: a column with zero mass in the row (and the "no link"
+// outcome 0 when the row sums to exactly 1) must never come out of the
+// row's alias table.
+func TestSampleRowNeverReturnsZeroProbabilityColumn(t *testing.T) {
+	m, err := NewMatrix([][]float64{
+		{0, 0.5, 0, 0.5},   // leftover 0: outcome 0 must not appear
+		{0.25, 0, 0, 0.25}, // leftover 0.5: outcome 0 is legitimate
+		{0, 0, 1, 0},
+		{0.1, 0, 0.2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(0xc01)
+	for i := 1; i <= m.K(); i++ {
+		for trial := 0; trial < 20000; trial++ {
+			j := m.SampleRow(i, rng)
+			if j == 0 {
+				if m.RowSum(i) == 1 {
+					t.Fatalf("row %d: drew 'no link' from a row with full mass", i)
+				}
+				continue
+			}
+			if m.P(i, j) == 0 {
+				t.Fatalf("row %d: drew zero-probability column %d", i, j)
+			}
+		}
+	}
+}
+
 func TestUniformDistributionExactForm(t *testing.T) {
 	g := gen.Path(10)
 	inst, _ := NewUniformScheme().Prepare(g)

@@ -3,9 +3,11 @@ package augment
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"navaug/internal/graph"
+	"navaug/internal/sampler"
 	"navaug/internal/xrand"
 )
 
@@ -19,7 +21,24 @@ import (
 type HarmonicScheme struct {
 	// Exponent is the decay exponent r in Pr(u→v) ∝ dist(u,v)^-r.
 	Exponent float64
+	// MaxPrecomputeNodes bounds the graph size up to which the instance
+	// keeps per-node alias tables (O(1) draws after a node's first, O(n²)
+	// ints of memory).  Beyond it every draw falls back to bounded-memory
+	// per-draw sampling.  Zero means DefaultPrecomputeNodes; negative
+	// disables the tables entirely.
+	MaxPrecomputeNodes int
+	// EagerPrepare builds every node's alias table already in Prepare with
+	// a parallel all-nodes BFS pass, instead of lazily on each node's first
+	// draw.  Worth it when far more than n contacts will be drawn (exact
+	// DPs, distribution tests, very long simulations).
+	EagerPrepare bool
 }
+
+// DefaultPrecomputeNodes is the default graph-size ceiling for the O(n²)
+// per-node alias tables of the harmonic and ball schemes.  At this size the
+// flat tables cost n²·12 bytes ≈ 200 MiB, the upper end of what a
+// simulation sweep should pin per prepared scheme.
+const DefaultPrecomputeNodes = 4096
 
 // NewHarmonicScheme returns the distance-harmonic scheme with exponent r.
 func NewHarmonicScheme(r float64) *HarmonicScheme { return &HarmonicScheme{Exponent: r} }
@@ -30,7 +49,16 @@ func (s *HarmonicScheme) Name() string { return fmt.Sprintf("harmonic-r%g", s.Ex
 type harmonicInstance struct {
 	g        *graph.Graph
 	exponent float64
-	scratch  sync.Pool
+	// powTable[d] memoises d^-r over every distance the graph can realise
+	// (powTable[0] = 0 so "self" contributes no weight), shared by the
+	// table and fallback paths.
+	powTable []float64
+	// tables holds the per-node alias rows (nil above the precompute
+	// threshold): row u is the harmonic distribution of u's contact.
+	tables *sampler.LazyRows
+	// scratch pools the BFS buffers used by row fills and by the fallback
+	// per-draw sampling path.
+	scratch sync.Pool
 }
 
 type harmonicScratch struct {
@@ -39,16 +67,39 @@ type harmonicScratch struct {
 	weights []float64
 }
 
-// Prepare implements Scheme.
+// precomputeLimit resolves the MaxPrecomputeNodes knob shared by the
+// harmonic and ball schemes.
+func precomputeLimit(configured int) int {
+	switch {
+	case configured == 0:
+		return DefaultPrecomputeNodes
+	case configured < 0:
+		return 0
+	default:
+		return configured
+	}
+}
+
+// Prepare implements Scheme.  Within the precompute threshold the instance
+// carries one Walker alias table per node — filled lazily on the node's
+// first draw (or all up front with EagerPrepare), after which Contact is a
+// single O(1) table draw.  Beyond the threshold the instance keeps the
+// bounded-memory per-draw sampling path.
 func (s *HarmonicScheme) Prepare(g *graph.Graph) (Instance, error) {
-	if g.N() == 0 {
+	n := g.N()
+	if n == 0 {
 		return nil, fmt.Errorf("augment: harmonic scheme needs a non-empty graph")
 	}
-	if s.Exponent < 0 {
+	if s.Exponent < 0 || math.IsNaN(s.Exponent) {
 		return nil, fmt.Errorf("augment: harmonic exponent must be >= 0, got %g", s.Exponent)
 	}
 	inst := &harmonicInstance{g: g, exponent: s.Exponent}
-	n := g.N()
+	// Distances are at most n-1, so one table covers every pow the scheme
+	// can ever need; building it is O(n) math.Pow calls, paid once.
+	inst.powTable = make([]float64, n)
+	for d := 1; d < n; d++ {
+		inst.powTable[d] = math.Pow(float64(d), -s.Exponent)
+	}
 	inst.scratch.New = func() any {
 		return &harmonicScratch{
 			dist:    make([]int32, n),
@@ -56,7 +107,42 @@ func (s *HarmonicScheme) Prepare(g *graph.Graph) (Instance, error) {
 			weights: make([]float64, n),
 		}
 	}
+	if n <= precomputeLimit(s.MaxPrecomputeNodes) {
+		inst.tables = sampler.NewLazyRows(n, n, inst)
+		if s.EagerPrepare {
+			inst.tables.BuildAll(runtime.GOMAXPROCS(0))
+		}
+	}
 	return inst, nil
+}
+
+// FillRow implements sampler.RowFiller: one BFS from u, harmonic weights
+// dist(u,·)^-r into the row (0 for u itself and unreachable nodes).
+func (h *harmonicInstance) FillRow(u int32, weights []float64) {
+	sc := h.scratch.Get().(*harmonicScratch)
+	defer h.scratch.Put(sc)
+	h.fillWeights(u, sc, weights)
+}
+
+// fillWeights runs one BFS from u and fills weights with the unnormalised
+// harmonic weights dist(u,·)^-r (0 for u itself and unreachable nodes),
+// returning the total weight.
+func (h *harmonicInstance) fillWeights(u graph.NodeID, sc *harmonicScratch, weights []float64) float64 {
+	for i := range sc.dist {
+		sc.dist[i] = graph.Unreachable
+	}
+	h.g.BFSInto(u, sc.dist, sc.queue)
+	total := 0.0
+	for v, d := range sc.dist {
+		if d <= 0 { // u itself or unreachable
+			weights[v] = 0
+			continue
+		}
+		w := h.powTable[d]
+		weights[v] = w
+		total += w
+	}
+	return total
 }
 
 // ContactDistribution implements Distributional: probabilities proportional
@@ -71,7 +157,7 @@ func (h *harmonicInstance) ContactDistribution(u graph.NodeID) []float64 {
 		if dv <= 0 {
 			continue
 		}
-		w := math.Pow(float64(dv), -h.exponent)
+		w := h.powTable[dv]
 		out[v] = w
 		total += w
 	}
@@ -85,25 +171,16 @@ func (h *harmonicInstance) ContactDistribution(u graph.NodeID) []float64 {
 	return out
 }
 
-// Contact implements Instance.  Each draw runs one BFS from u and samples a
-// node with probability proportional to dist(u,·)^-r.
+// Contact implements Instance.  With tables present it is one O(1) alias
+// draw (the node's row is built on its first draw); otherwise each draw
+// runs one BFS from u and samples via a linear CDF scan.
 func (h *harmonicInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	if h.tables != nil {
+		return h.tables.Draw(u, rng)
+	}
 	sc := h.scratch.Get().(*harmonicScratch)
 	defer h.scratch.Put(sc)
-	for i := range sc.dist {
-		sc.dist[i] = graph.Unreachable
-	}
-	h.g.BFSInto(u, sc.dist, sc.queue)
-	total := 0.0
-	for v, d := range sc.dist {
-		if d <= 0 { // u itself or unreachable
-			sc.weights[v] = 0
-			continue
-		}
-		w := math.Pow(float64(d), -h.exponent)
-		sc.weights[v] = w
-		total += w
-	}
+	total := h.fillWeights(u, sc, sc.weights)
 	if total == 0 {
 		return u // isolated node: no candidates
 	}

@@ -3,9 +3,9 @@ package augment
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"navaug/internal/graph"
+	"navaug/internal/sampler"
 	"navaug/internal/xrand"
 )
 
@@ -14,10 +14,17 @@ import (
 // 1-based, matching the paper — is the probability that a node labeled i
 // chooses label j for its long-range contact.  Row mass left over after all
 // columns means "no long-range link".
+//
+// Each row carries a Walker alias table over its k+1 outcomes (the k
+// columns plus the leftover "no link" mass), built once at construction, so
+// SampleRow is O(1) and allocation-free instead of a per-draw binary search
+// over a cumulative row.
 type Matrix struct {
-	k   int
-	p   [][]float64 // 0-based internally
-	cum [][]float64 // per-row cumulative sums for sampling
+	k       int
+	p       [][]float64 // 0-based internally
+	rowSum  []float64   // per-row total probability mass
+	rowProb [][]float64 // per-row alias acceptance probabilities, k+1 outcomes
+	rowAlia [][]int32   // per-row alias redirects; outcome 0 is "no link"
 }
 
 // NewMatrix builds an augmentation matrix from 1-based-labelled rows given
@@ -26,24 +33,47 @@ type Matrix struct {
 // to more than 1 (with a small tolerance for rounding).
 func NewMatrix(p [][]float64) (*Matrix, error) {
 	k := len(p)
-	m := &Matrix{k: k, p: make([][]float64, k), cum: make([][]float64, k)}
+	m := &Matrix{
+		k:       k,
+		p:       make([][]float64, k),
+		rowSum:  make([]float64, k),
+		rowProb: make([][]float64, k),
+		rowAlia: make([][]int32, k),
+	}
 	const tol = 1e-9
+	weights := make([]float64, k+1)
+	scratch := make([]int32, k+1)
 	for i, row := range p {
 		if len(row) != k {
 			return nil, fmt.Errorf("augment: matrix row %d has %d entries, want %d", i+1, len(row), k)
 		}
 		sum := 0.0
 		m.p[i] = append([]float64(nil), row...)
-		m.cum[i] = make([]float64, k)
 		for j, v := range row {
 			if v < -tol || v > 1+tol || math.IsNaN(v) {
 				return nil, fmt.Errorf("augment: matrix entry (%d,%d)=%v out of [0,1]", i+1, j+1, v)
 			}
 			sum += v
-			m.cum[i][j] = sum
+			// Entries within the tolerance band may still be tiny negative
+			// floating-point dust; the alias builder needs true weights.
+			if v < 0 {
+				v = 0
+			}
+			weights[j+1] = v
 		}
 		if sum > 1+1e-6 {
 			return nil, fmt.Errorf("augment: matrix row %d sums to %v > 1", i+1, sum)
+		}
+		m.rowSum[i] = sum
+		// Outcome 0 is the unspent "no link" mass; clamp rounding dust.
+		weights[0] = 1 - sum
+		if weights[0] < 0 {
+			weights[0] = 0
+		}
+		m.rowProb[i] = make([]float64, k+1)
+		m.rowAlia[i] = make([]int32, k+1)
+		if err := sampler.BuildInto(m.rowProb[i], m.rowAlia[i], weights, scratch); err != nil {
+			return nil, fmt.Errorf("augment: matrix row %d alias table: %w", i+1, err)
 		}
 	}
 	return m, nil
@@ -62,31 +92,14 @@ func (m *Matrix) P(i, j int) float64 {
 // RowSum returns the total probability mass of row i (1-based).
 func (m *Matrix) RowSum(i int) float64 {
 	m.checkLabel(i)
-	if m.k == 0 {
-		return 0
-	}
-	return m.cum[i-1][m.k-1]
+	return m.rowSum[i-1]
 }
 
-// SampleRow draws a column label from row i (1-based).  It returns 0 when
-// the leftover "no link" mass is drawn.
+// SampleRow draws a column label from row i (1-based) in O(1) via the row's
+// alias table.  It returns 0 when the leftover "no link" mass is drawn.
 func (m *Matrix) SampleRow(i int, rng *xrand.RNG) int {
 	m.checkLabel(i)
-	x := rng.Float64()
-	row := m.cum[i-1]
-	if len(row) == 0 || x >= row[len(row)-1] {
-		return 0
-	}
-	j := sort.SearchFloat64s(row, x)
-	// SearchFloat64s returns the first index with row[j] >= x; because x is
-	// continuous, ties have probability zero, but guard against equality.
-	for j < len(row) && row[j] <= x {
-		j++
-	}
-	if j >= len(row) {
-		return 0
-	}
-	return j + 1
+	return int(sampler.Draw(m.rowProb[i-1], m.rowAlia[i-1], rng))
 }
 
 // SubsetMass returns Σ_{i≠j, i,j ∈ labels} P(i,j), the quantity the

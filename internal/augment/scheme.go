@@ -5,15 +5,25 @@
 // and the headline Theorem 4 ball scheme with greedy diameter Õ(n^{1/3}).
 //
 // A Scheme describes how to augment any graph; Prepare builds per-graph
-// state (distances, decompositions, labelings) and returns an Instance that
-// draws long-range contacts node by node.  Instances are required to be
-// safe for concurrent use: all mutable state lives in the *xrand.RNG passed
-// to Contact, which each worker owns exclusively.
+// state (distances, decompositions, labelings, sampling tables) and returns
+// an Instance that draws long-range contacts node by node.  Instances are
+// required to be safe for concurrent use: all mutable state lives in the
+// *xrand.RNG passed to Contact, which each worker owns exclusively.
+//
+// The cost contract between the two phases is deliberately asymmetric:
+// Prepare may be heavy — run BFS from every node, build per-node or per-row
+// Walker alias tables (internal/sampler), precompute ancestor lists — while
+// Contact must be O(1) amortised and allocation-free, because the Monte
+// Carlo engine calls it on every hop of every routed trial.  Schemes whose
+// exact per-node tables would need Θ(n²) memory (harmonic, ball) honour the
+// contract up to a configurable node-count threshold and fall back to
+// bounded-memory per-draw sampling beyond it.
 //
 // Greedy routing never revisits a node (the distance to the target strictly
 // decreases every step), so drawing contacts lazily at first visit is
-// statistically identical to drawing the whole augmentation up front.  The
-// Memo wrapper provides that per-trial memoisation.
+// statistically identical to drawing the whole augmentation up front.
+// route.Scratch provides that per-trial memoisation allocation-free; the
+// map-backed Memo wrapper remains for tests and one-off callers.
 package augment
 
 import (
@@ -27,6 +37,9 @@ type Scheme interface {
 	// Name returns a short identifier used in reports and benchmarks.
 	Name() string
 	// Prepare builds the per-graph state needed to draw long-range contacts.
+	// Prepare may be heavy: all per-draw work a scheme can hoist (BFS
+	// passes, alias tables, ancestor lists) belongs here, paid once per
+	// graph, so that Contact stays on its O(1) budget.
 	Prepare(g *graph.Graph) (Instance, error)
 }
 
@@ -35,6 +48,11 @@ type Scheme interface {
 type Instance interface {
 	// Contact draws the long-range contact of u.  Returning u itself means
 	// "no long-range link" (some schemes put probability mass on no link).
+	//
+	// Contact is the innermost call of the simulator's hot path and must be
+	// O(1) amortised and allocation-free (schemes with a documented
+	// precompute threshold may degrade to bounded-memory per-draw sampling
+	// above it, never below).
 	Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID
 }
 

@@ -65,6 +65,10 @@ type theorem2Instance struct {
 	maxAncestor  int     // ancestors are restricted to [1, maxAncestor] (= n per the paper)
 	ancProb      float64 // 1 / (1 + log2 n)
 	ancestorOnly bool
+	// ancByLabel[ℓ] memoises label.Ancestors(ℓ, maxAncestor) for every label
+	// the decomposition produced, so Contact never allocates: the per-draw
+	// ancestor enumeration is paid once in Prepare.
+	ancByLabel [][]int
 }
 
 // Prepare implements Scheme.
@@ -93,14 +97,25 @@ func (s *Theorem2Scheme) Prepare(g *graph.Graph) (Instance, error) {
 	if logTerm < 1 {
 		logTerm = 1
 	}
-	return &theorem2Instance{
+	inst := &theorem2Instance{
 		n:            n,
 		labels:       lab.Labels,
 		nodesByLabel: lab.NodesByLabel,
 		maxAncestor:  n,
 		ancProb:      1.0 / (1.0 + logTerm),
 		ancestorOnly: s.AncestorOnly,
-	}, nil
+	}
+	maxLabel := 0
+	for _, lbl := range lab.Labels {
+		if lbl > maxLabel {
+			maxLabel = lbl
+		}
+	}
+	inst.ancByLabel = make([][]int, maxLabel+1)
+	for lbl := 1; lbl <= maxLabel; lbl++ {
+		inst.ancByLabel[lbl] = label.Ancestors(lbl, inst.maxAncestor)
+	}
+	return inst, nil
 }
 
 // Contact implements Instance.
@@ -111,8 +126,9 @@ func (t *theorem2Instance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID 
 		return graph.NodeID(rng.Intn(t.n))
 	}
 	// Ancestor half: each ancestor j of label(u) within [1, n] receives
-	// probability ancProb; the remaining mass is "no link".
-	anc := label.Ancestors(t.labels[u], t.maxAncestor)
+	// probability ancProb; the remaining mass is "no link".  The ancestor
+	// list was memoised in Prepare, so this path is O(1) and allocation-free.
+	anc := t.ancByLabel[t.labels[u]]
 	if len(anc) == 0 {
 		return u
 	}
@@ -152,7 +168,7 @@ func (t *theorem2Instance) ContactDistribution(u graph.NodeID) []float64 {
 		}
 	}
 	spent := 0.0
-	for _, j := range label.Ancestors(t.labels[u], t.maxAncestor) {
+	for _, j := range t.ancByLabel[t.labels[u]] {
 		if j >= len(t.nodesByLabel) {
 			continue
 		}

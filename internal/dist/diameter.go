@@ -26,13 +26,36 @@ func EstimateDiameter(g *graph.Graph, sweeps int, rng *xrand.RNG) int32 {
 	best := int32(0)
 	for s := 0; s < sweeps; s++ {
 		start := graph.NodeID(rng.Intn(n))
-		far, _ := farthest(g, start, dist, queue)
-		_, d := farthest(g, far, dist, queue)
-		if d > best {
+		if _, _, d := doubleSweep(g, start, dist, queue); d > best {
 			best = d
 		}
 	}
 	return best
+}
+
+// ExtremalPair returns an approximately diametral pair (a, b) together with
+// dist(a, b), via one deterministic double sweep from node 0: a is the
+// farthest node from 0, b the farthest node from a (first-index
+// tie-breaking, so the pair is a pure function of the graph).  The Monte
+// Carlo engine seeds its pair sample with it to sharpen greedy-diameter
+// estimates.  The empty graph yields (0, 0, 0).
+func ExtremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID, int32) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	return doubleSweep(g, 0, dist, queue)
+}
+
+// doubleSweep is the shared double-sweep primitive: BFS from start to find
+// the farthest node a, BFS from a to find the farthest node b, returning
+// (a, b, dist(a, b)).  Both sweeps reuse the provided scratch buffers.
+func doubleSweep(g *graph.Graph, start graph.NodeID, dist []int32, queue []int32) (graph.NodeID, graph.NodeID, int32) {
+	a, _ := farthest(g, start, dist, queue)
+	b, d := farthest(g, a, dist, queue)
+	return a, b, d
 }
 
 // farthest runs one BFS from src using the provided scratch buffers and

@@ -175,6 +175,36 @@ func TestEstimateDiameterBounds(t *testing.T) {
 	}
 }
 
+func TestExtremalPair(t *testing.T) {
+	if a, b, d := ExtremalPair(graph.NewBuilder(0).Build()); a != 0 || b != 0 || d != 0 {
+		t.Fatalf("empty graph pair (%d,%d,%d)", a, b, d)
+	}
+	// On a path the double sweep is exact: sweep one finds an end, sweep two
+	// the other, and the distance is the diameter.
+	a, b, d := ExtremalPair(gen.Path(50))
+	if d != 49 {
+		t.Fatalf("path extremal distance %d, want 49", d)
+	}
+	if !(a == 49 && b == 0) && !(a == 0 && b == 49) {
+		t.Fatalf("path extremal pair (%d,%d), want the two ends", a, b)
+	}
+	// General connected graphs: the endpoints realise the returned distance
+	// and it is a valid diameter lower bound.
+	g := gen.Grid2D(8, 11)
+	a, b, d = ExtremalPair(g)
+	if got := g.BFS(a)[b]; got != d {
+		t.Fatalf("extremal endpoints at distance %d, reported %d", got, d)
+	}
+	if diam := g.Diameter(); d > diam || 2*d < diam {
+		t.Fatalf("extremal distance %d outside [diam/2, diam] for diameter %d", d, diam)
+	}
+	// Deterministic: a pure function of the graph.
+	a2, b2, d2 := ExtremalPair(g)
+	if a2 != a || b2 != b || d2 != d {
+		t.Fatal("ExtremalPair is not deterministic")
+	}
+}
+
 func TestLandmarkOracleBounds(t *testing.T) {
 	rng := xrand.New(5)
 	for _, g := range []*graph.Graph{gen.Path(40), gen.Grid2D(8, 8), gen.ConnectedGNP(80, 0.06, rng)} {

@@ -3,9 +3,11 @@
 // neighbour (local neighbours plus the node's own long-range contact) that
 // is closest to the target according to distances in the underlying graph.
 //
-// Long-range contacts are drawn lazily through an augment.Memo so that each
-// node keeps one consistent contact per trial while only paying for the
-// nodes actually visited.
+// Long-range contacts are drawn lazily and memoised per trial so that each
+// node keeps one consistent contact while only paying for the nodes
+// actually visited.  The memo lives in a Scratch — a dense epoch-marked
+// buffer that resets in O(1) — so a worker that reuses one Scratch across
+// trials routes without any per-trial allocation.
 package route
 
 import (
@@ -13,6 +15,7 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/graph"
+	"navaug/internal/sampler"
 	"navaug/internal/xrand"
 )
 
@@ -29,6 +32,30 @@ type Result struct {
 	Path []graph.NodeID
 }
 
+// Scratch is reusable per-trial state for routing: the per-node contact
+// memo, epoch-marked so a reset costs O(1).  A Scratch is not safe for
+// concurrent use; keep one per worker and pass it through Options.  Reuse
+// across trials is what makes a routing trial allocation-free.
+type Scratch struct {
+	memo *sampler.EpochMemo
+}
+
+// NewScratch returns a Scratch for routing on graphs with n nodes.
+func NewScratch(n int) *Scratch {
+	return &Scratch{memo: sampler.NewEpochMemo(n)}
+}
+
+// contact returns the memoised long-range contact of u, drawing it on
+// first use within the current trial.
+func (s *Scratch) contact(inst augment.Instance, u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	if c, ok := s.memo.Get(u); ok {
+		return c
+	}
+	c := inst.Contact(u, rng)
+	s.memo.Set(u, c)
+	return c
+}
+
 // Options tune a routing trial.
 type Options struct {
 	// MaxSteps caps the number of hops (0 means 4·n, which greedy routing
@@ -37,32 +64,54 @@ type Options struct {
 	MaxSteps int
 	// Trace records the full visited path in the Result.
 	Trace bool
+	// Scratch, when non-nil, supplies the reusable trial state; it must have
+	// been built for a graph of the same size.  When nil a fresh Scratch is
+	// allocated for the trial (convenient, but the hot path — the Monte
+	// Carlo worker pool — always passes one per worker).
+	Scratch *Scratch
+}
+
+// validate checks the endpoints and distance field shared by both routing
+// variants, and resolves the trial scratch.
+func validate(g *graph.Graph, s, t graph.NodeID, distToTarget []int32, opts Options) (*Scratch, error) {
+	n := g.N()
+	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
+		return nil, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if len(distToTarget) != n {
+		return nil, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
+	}
+	if distToTarget[t] != 0 {
+		return nil, fmt.Errorf("route: distance vector is not rooted at target %d", t)
+	}
+	if distToTarget[s] == graph.Unreachable {
+		return nil, fmt.Errorf("route: target %d unreachable from source %d", t, s)
+	}
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = NewScratch(n)
+	} else if scratch.memo.Len() != n {
+		return nil, fmt.Errorf("route: scratch was built for %d nodes, graph has %d", scratch.memo.Len(), n)
+	}
+	scratch.memo.Reset()
+	return scratch, nil
 }
 
 // Greedy routes a message from s to t on graph g augmented by the given
 // instance, using distToTarget[v] = dist_G(v, t).  The rng drives the lazy
-// long-range contact draws.  It returns an error for invalid endpoints or a
-// distance vector of the wrong length or with an unreachable source.
+// long-range contact draws.  It returns an error for invalid endpoints, a
+// distance vector of the wrong length or with an unreachable source, or a
+// mis-sized scratch.
 func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
-	n := g.N()
-	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
-		return Result{}, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
-	}
-	if len(distToTarget) != n {
-		return Result{}, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
-	}
-	if distToTarget[t] != 0 {
-		return Result{}, fmt.Errorf("route: distance vector is not rooted at target %d", t)
-	}
-	if distToTarget[s] == graph.Unreachable {
-		return Result{}, fmt.Errorf("route: target %d unreachable from source %d", t, s)
+	scratch, err := validate(g, s, t, distToTarget, opts)
+	if err != nil {
+		return Result{}, err
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = 4*n + 16
+		maxSteps = 4*g.N() + 16
 	}
 
-	memo := augment.NewMemo(inst)
 	res := Result{}
 	if opts.Trace {
 		res.Path = append(res.Path, s)
@@ -72,7 +121,7 @@ func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarg
 		if res.Steps >= maxSteps {
 			return res, nil // Reached stays false
 		}
-		next, viaLong := greedyStep(g, memo, cur, distToTarget, rng)
+		next, viaLong := greedyStep(g, inst, scratch, cur, distToTarget, rng)
 		if viaLong {
 			res.LongLinksUsed++
 		}
@@ -89,7 +138,7 @@ func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarg
 // greedyStep picks the neighbour of cur (including its long-range contact)
 // closest to the target; ties prefer local links and then lower node ids,
 // which keeps the process deterministic given the drawn contacts.
-func greedyStep(g *graph.Graph, memo *augment.Memo, cur graph.NodeID, distToTarget []int32, rng *xrand.RNG) (graph.NodeID, bool) {
+func greedyStep(g *graph.Graph, inst augment.Instance, scratch *Scratch, cur graph.NodeID, distToTarget []int32, rng *xrand.RNG) (graph.NodeID, bool) {
 	best := cur
 	bestDist := distToTarget[cur]
 	viaLong := false
@@ -104,7 +153,7 @@ func greedyStep(g *graph.Graph, memo *augment.Memo, cur graph.NodeID, distToTarg
 			viaLong = false
 		}
 	}
-	if c := memo.Contact(cur, rng); c != cur {
+	if c := scratch.contact(inst, cur, rng); c != cur {
 		d := distToTarget[c]
 		if d != graph.Unreachable && d < bestDist {
 			best = c
@@ -123,24 +172,14 @@ func greedyStep(g *graph.Graph, memo *augment.Memo, cur graph.NodeID, distToTarg
 // traversal still advances one edge per step, so the step count remains
 // comparable with plain greedy routing.
 func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
-	n := g.N()
-	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
-		return Result{}, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
-	}
-	if len(distToTarget) != n {
-		return Result{}, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
-	}
-	if distToTarget[t] != 0 {
-		return Result{}, fmt.Errorf("route: distance vector is not rooted at target %d", t)
-	}
-	if distToTarget[s] == graph.Unreachable {
-		return Result{}, fmt.Errorf("route: target %d unreachable from source %d", t, s)
+	scratch, err := validate(g, s, t, distToTarget, opts)
+	if err != nil {
+		return Result{}, err
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = 4*n + 16
+		maxSteps = 4*g.N() + 16
 	}
-	memo := augment.NewMemo(inst)
 	res := Result{}
 	if opts.Trace {
 		res.Path = append(res.Path, s)
@@ -151,7 +190,7 @@ func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeI
 			return res, nil
 		}
 		// Direct greedy candidate.
-		direct, viaLong := greedyStep(g, memo, cur, distToTarget, rng)
+		direct, viaLong := greedyStep(g, inst, scratch, cur, distToTarget, rng)
 		directDist := distToTarget[direct]
 		// Lookahead: neighbour whose own long-range contact is closest.
 		bestVia := graph.NodeID(-1)
@@ -160,7 +199,7 @@ func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeI
 			if distToTarget[v] == graph.Unreachable {
 				continue
 			}
-			c := memo.Contact(v, rng)
+			c := scratch.contact(inst, v, rng)
 			d := distToTarget[c]
 			if d == graph.Unreachable {
 				continue

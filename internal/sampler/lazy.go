@@ -1,0 +1,149 @@
+package sampler
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"navaug/internal/xrand"
+)
+
+// RowFiller computes the unnormalised weights of one sampling row.  It must
+// be safe for concurrent use (LazyRows may build different rows from
+// different goroutines at once) and must write only finite, non-negative
+// weights.
+type RowFiller interface {
+	// FillRow writes the weights of outcome 0..k-1 for the given row into
+	// weights (length k, arbitrary prior contents).
+	FillRow(row int32, weights []float64)
+}
+
+// LazyRows is a square family of Walker alias tables — one row of k
+// outcomes per key in [0, rows) — whose rows are built on first draw.
+// It is the memory/compute middle ground the augmentation schemes need:
+// the flat backing arrays are reserved up front (the OS faults pages in
+// per row), but the O(k) fill-and-build cost of a row is only ever paid
+// for rows that are actually drawn from, under a striped lock so
+// concurrent first draws stay race-free.
+//
+// Draws are deterministic regardless of build interleaving: building never
+// touches the drawing RNG (a draw consumes RNG values only through Draw
+// against the row's finished table), and tables are pure functions of the
+// filler, so seed-fixed simulations give identical results for any worker
+// count.
+//
+// A row whose weights are all zero keeps its whole mass on the row index
+// itself (outcome == row), the schemes' "no long-range link" convention.
+type LazyRows struct {
+	k      int
+	filler RowFiller
+	probs  []float64
+	alias  []int32
+	ready  []uint32 // atomic 0/1 per row
+	locks  []sync.Mutex
+	pool   sync.Pool // *rowScratch
+}
+
+type rowScratch struct {
+	weights []float64
+	work    []int32
+}
+
+// lazyStripes is the number of build locks; first builds of distinct rows
+// rarely collide, they only need to not race.
+const lazyStripes = 64
+
+// NewLazyRows reserves tables for rows×k outcomes filled by filler.  Every
+// row index must itself be a valid outcome (rows <= k) so the all-zero-row
+// fallback can park the mass on the row; it panics otherwise.
+func NewLazyRows(rows, k int, filler RowFiller) *LazyRows {
+	if rows > k {
+		panic(fmt.Sprintf("sampler: LazyRows needs rows <= k for the no-outcome fallback, got %d rows over %d outcomes", rows, k))
+	}
+	l := &LazyRows{
+		k:      k,
+		filler: filler,
+		probs:  make([]float64, rows*k),
+		alias:  make([]int32, rows*k),
+		ready:  make([]uint32, rows),
+		locks:  make([]sync.Mutex, lazyStripes),
+	}
+	l.pool.New = func() any {
+		return &rowScratch{weights: make([]float64, k), work: make([]int32, k)}
+	}
+	return l
+}
+
+// Rows returns the number of rows the table family covers.
+func (l *LazyRows) Rows() int { return len(l.ready) }
+
+// Draw samples an outcome from the given row, building the row's table on
+// first use.  Amortised O(1); allocation-free once the row exists.
+func (l *LazyRows) Draw(row int32, rng *xrand.RNG) int32 {
+	if atomic.LoadUint32(&l.ready[row]) == 0 {
+		l.build(row)
+	}
+	base := int(row) * l.k
+	return Draw(l.probs[base:base+l.k], l.alias[base:base+l.k], rng)
+}
+
+// build fills and finalises one row under its stripe lock.
+func (l *LazyRows) build(row int32) {
+	lock := &l.locks[int(row)%lazyStripes]
+	lock.Lock()
+	defer lock.Unlock()
+	if atomic.LoadUint32(&l.ready[row]) != 0 { // lost the race: already built
+		return
+	}
+	sc := l.pool.Get().(*rowScratch)
+	defer l.pool.Put(sc)
+	l.filler.FillRow(row, sc.weights)
+	total := 0.0
+	for _, w := range sc.weights {
+		total += w
+	}
+	if total == 0 {
+		// No admissible outcome: all mass stays on the row itself.
+		sc.weights[row] = 1
+	}
+	base := int(row) * l.k
+	if err := BuildInto(l.probs[base:base+l.k], l.alias[base:base+l.k], sc.weights, sc.work); err != nil {
+		// The filler contract (finite, non-negative) plus the zero-total
+		// fallback above make this unreachable; failing loud beats sampling
+		// from a half-built row.
+		panic(fmt.Sprintf("sampler: lazy row %d: %v", row, err))
+	}
+	atomic.StoreUint32(&l.ready[row], 1)
+}
+
+// BuildAll eagerly builds every missing row using the given number of
+// workers (<= 0 means one).  Useful when a caller knows it will draw far
+// more than Rows() times and wants the fills to run in parallel up front
+// rather than lazily on the drawing goroutines.
+func (l *LazyRows) BuildAll(workers int) {
+	rows := len(l.ready)
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				row := int32(next.Add(1) - 1)
+				if int(row) >= rows {
+					return
+				}
+				if atomic.LoadUint32(&l.ready[row]) == 0 {
+					l.build(row)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

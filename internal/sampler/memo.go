@@ -1,0 +1,48 @@
+package sampler
+
+// EpochMemo is a dense int32-keyed, int32-valued memo table with O(1)
+// reset: entries are validated against an epoch counter instead of being
+// cleared, so reusing the memo for a fresh trial costs one increment rather
+// than an O(n) wipe or a map reallocation.  It backs the per-trial contact
+// memoisation of the routing layer.  An EpochMemo is not safe for
+// concurrent use; keep one per worker.
+type EpochMemo struct {
+	vals  []int32
+	marks []uint32
+	epoch uint32
+}
+
+// NewEpochMemo returns a memo for keys in [0, n).
+func NewEpochMemo(n int) *EpochMemo {
+	return &EpochMemo{
+		vals:  make([]int32, n),
+		marks: make([]uint32, n),
+		epoch: 1,
+	}
+}
+
+// Len returns the key-space size the memo was built for.
+func (m *EpochMemo) Len() int { return len(m.vals) }
+
+// Reset invalidates every entry in O(1).
+func (m *EpochMemo) Reset() {
+	m.epoch++
+	if m.epoch == 0 { // wrapped: marks from 2^32 trials ago could collide
+		clear(m.marks)
+		m.epoch = 1
+	}
+}
+
+// Get returns the memoised value for key i and whether one is set this epoch.
+func (m *EpochMemo) Get(i int32) (int32, bool) {
+	if m.marks[i] != m.epoch {
+		return 0, false
+	}
+	return m.vals[i], true
+}
+
+// Set memoises v for key i until the next Reset.
+func (m *EpochMemo) Set(i, v int32) {
+	m.marks[i] = m.epoch
+	m.vals[i] = v
+}

@@ -134,8 +134,11 @@ func EstimateGreedyDiameter(g *graph.Graph, scheme augment.Scheme, cfg Config) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One trial scratch per worker, reused across every pair and
+			// trial this worker routes: no per-trial allocation.
+			scratch := route.NewScratch(n)
 			for idx := range tasks {
-				ps, err := runPair(g, inst, pairs[idx], idx, cfg)
+				ps, err := runPair(g, inst, pairs[idx], idx, cfg, scratch)
 				if err != nil {
 					fail(err)
 					continue
@@ -194,7 +197,7 @@ func selectPairs(g *graph.Graph, cfg Config) ([]Pair, error) {
 	rng := xrand.New(cfg.Seed ^ 0x5eed5eed5eed5eed)
 	pairs := make([]Pair, 0, cfg.Pairs)
 	if cfg.IncludeExtremalPair && cfg.Pairs >= 2 {
-		s, t := extremalPair(g)
+		s, t, _ := dist.ExtremalPair(g)
 		pairs = append(pairs, Pair{Source: s, Target: t})
 	}
 	const maxResample = 64
@@ -219,27 +222,9 @@ func selectPairs(g *graph.Graph, cfg Config) ([]Pair, error) {
 	return pairs, nil
 }
 
-// extremalPair returns an approximately diametral pair via a double sweep.
-func extremalPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
-	d1 := g.BFS(0)
-	a := graph.NodeID(0)
-	for v, d := range d1 {
-		if d > d1[a] {
-			a = graph.NodeID(v)
-		}
-	}
-	d2 := g.BFS(a)
-	b := a
-	for v, d := range d2 {
-		if d > d2[b] {
-			b = graph.NodeID(v)
-		}
-	}
-	return a, b
-}
-
-// runPair executes all trials of one pair.
-func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Config) (PairStats, error) {
+// runPair executes all trials of one pair, routing through the calling
+// worker's reusable scratch.
+func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Config, scratch *route.Scratch) (PairStats, error) {
 	distToTarget := cfg.DistFields.Field(p.Target)
 	if distToTarget[p.Source] == graph.Unreachable {
 		return PairStats{}, fmt.Errorf("sim: pair (%d,%d) is disconnected", p.Source, p.Target)
@@ -249,7 +234,7 @@ func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Con
 	steps := make([]float64, 0, cfg.Trials)
 	longLinks := 0.0
 	failed := 0
-	opts := route.Options{MaxSteps: cfg.MaxSteps}
+	opts := route.Options{MaxSteps: cfg.MaxSteps, Scratch: scratch}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		var res route.Result
 		var err error
