@@ -24,6 +24,7 @@ import (
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/route"
+	"navaug/internal/scenario"
 	"navaug/internal/sim"
 	"navaug/internal/xrand"
 )
@@ -61,7 +62,9 @@ func benchmarkExperiment(b *testing.B, id string) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables, err := e.Run(cfg)
+		runner := scenario.NewRunner(cfg)
+		tables, err := runner.RunSpec(e)
+		runner.Close()
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -1,15 +1,21 @@
 // Command navsim runs the paper-reproduction experiments (E1..E10) and
-// ad-hoc greedy-diameter estimations.
+// ad-hoc greedy-diameter estimations through the scenario engine.
 //
 // Usage:
 //
-//	navsim list
-//	    List the available experiments with their claims.
+//	navsim list [-format text|md]
+//	    List the available experiments with their claims; the md format is
+//	    what EXPERIMENTS.md is generated from.
 //
-//	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md] [-workers N]
-//	    Run the selected experiments (default: all) and print their tables.
+//	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json]
+//	           [-precision 0.1] [-workers N] [-parallel N] [-quiet]
+//	    Run the selected experiments (default: all) on one shared scenario
+//	    runner and print the report.  -precision enables streaming adaptive
+//	    estimation; -workers/-parallel only change wall-clock, never results.
+//	    Progress goes to stderr, the report to stdout.
 //
-//	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-seed N]
+//	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6]
+//	           [-precision 0.1] [-seed N]
 //	    Estimate the greedy diameter of one (family, scheme) combination.
 //
 //	navsim exact -family path -n 400 -scheme uniform [-seed N]
@@ -25,6 +31,7 @@ import (
 	"navaug/internal/core"
 	"navaug/internal/exact"
 	"navaug/internal/experiments"
+	"navaug/internal/scenario"
 	"navaug/internal/sim"
 )
 
@@ -36,7 +43,7 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "list":
-		err = runList()
+		err = runList(os.Args[2:])
 	case "run":
 		err = runExperiments(os.Args[2:])
 	case "estimate":
@@ -58,15 +65,36 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  navsim list
-  navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md] [-workers N] [-pairs N] [-trials N]
-  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-seed N] [-workers N]
+  navsim list [-format text|md]
+  navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json] [-precision 0.1]
+             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N] [-quiet]
+  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1] [-seed N] [-workers N]
   navsim exact -family path -n 400 -scheme uniform [-seed N]`)
 }
 
-func runList() error {
-	for _, e := range experiments.All() {
-		fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text or md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+	case "md", "markdown":
+		fmt.Println("# Experiments")
+		fmt.Println()
+		fmt.Println("One scenario per claim of the paper, generated from the spec registry")
+		fmt.Println("(`navsim list -format md`).  Run any of them with")
+		fmt.Println("`navsim run -exp <id>`; add `-precision 0.1` for adaptive sampling and")
+		fmt.Println("`-format json` for machine-readable output with a run manifest.")
+		for _, e := range experiments.All() {
+			fmt.Printf("\n## %s — %s\n\n**Claim.** %s\n", e.ID, e.Title, e.Claim)
+		}
+	default:
+		return fmt.Errorf("unknown list format %q (known: text, md)", *format)
 	}
 	return nil
 }
@@ -76,47 +104,50 @@ func runExperiments(args []string) error {
 	expList := fs.String("exp", "", "comma-separated experiment ids (default: all)")
 	scale := fs.Float64("scale", 1.0, "size scale factor (1.0 = EXPERIMENTS.md sizes)")
 	seed := fs.Uint64("seed", experiments.DefaultConfig().Seed, "random seed")
-	format := fs.String("format", "text", "output format: text, csv or md")
-	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	format := fs.String("format", "text", "output format: text, csv, md or json")
+	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS; never affects results)")
+	parallel := fs.Int("parallel", 0, "concurrent scenario cells (0 = GOMAXPROCS; never affects results)")
 	pairs := fs.Int("pairs", 0, "override source/target pairs per estimate")
 	trials := fs.Int("trials", 0, "override augmentation redraws per pair")
+	precision := fs.Float64("precision", 0, "adaptive mode: target 95% CI half-width relative to the mean (0 = fixed budgets)")
+	maxTrials := fs.Int("max-trials", 0, "adaptive mode: per-pair trial cap (0 = 8x the base budget)")
+	quiet := fs.Bool("quiet", false, "suppress the per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{
-		Seed:    *seed,
-		Scale:   *scale,
-		Workers: *workers,
-		Pairs:   *pairs,
-		Trials:  *trials,
+	// Reject bad formats before spending minutes running the suite.
+	switch strings.ToLower(*format) {
+	case "", "text", "txt", "csv", "markdown", "md", "json":
+	default:
+		return fmt.Errorf("unknown format %q (known: text, csv, md, json)", *format)
 	}
-	var selected []experiments.Experiment
-	if *expList == "" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*expList, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experiments.IDs(), ", "))
-			}
-			selected = append(selected, e)
+	cfg := scenario.Config{
+		Seed:      *seed,
+		Scale:     *scale,
+		Workers:   *workers,
+		Parallel:  *parallel,
+		Pairs:     *pairs,
+		Trials:    *trials,
+		Precision: *precision,
+		MaxTrials: *maxTrials,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	var ids []string
+	if *expList != "" {
+		ids = strings.Split(*expList, ",")
+	}
+	rep, err := core.RunSuite(ids, cfg)
+	if rep != nil {
+		// Render even when an experiment failed: the report carries the
+		// completed experiments plus per-experiment error fields (the table
+		// formats stop at the first failed experiment on their own).
+		if renderErr := rep.Render(os.Stdout, *format); err == nil {
+			err = renderErr
 		}
 	}
-	for _, e := range selected {
-		fmt.Printf("\n#### %s — %s\n", e.ID, e.Title)
-		fmt.Printf("claim: %s\n\n", e.Claim)
-		tables, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		for _, t := range tables {
-			if err := t.Render(os.Stdout, *format); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-	}
-	return nil
+	return err
 }
 
 func runEstimate(args []string) error {
@@ -126,6 +157,7 @@ func runEstimate(args []string) error {
 	schemeName := fs.String("scheme", "ball", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")
 	pairs := fs.Int("pairs", 12, "source/target pairs")
 	trials := fs.Int("trials", 6, "augmentation redraws per pair")
+	precision := fs.Float64("precision", 0, "adaptive mode: target 95% CI half-width relative to the mean (0 = fixed budget)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +180,7 @@ func runEstimate(args []string) error {
 		Trials:              *trials,
 		Seed:                *seed,
 		Workers:             *workers,
+		TargetCI:            *precision,
 		IncludeExtremalPair: true,
 	})
 	if err != nil {
@@ -158,7 +191,11 @@ func runEstimate(args []string) error {
 	fmt.Printf("greedy diameter:  %.2f (max over %d sampled pairs of per-pair mean)\n", est.GreedyDiameter, len(est.PairStats))
 	fmt.Printf("mean steps:       %.2f ± %.2f (95%% CI over pair means)\n", est.MeanSteps, est.CI95)
 	fmt.Printf("mean long links:  %.2f per route\n", est.MeanLongLinks)
-	fmt.Printf("samples:          %d routed trials\n", est.Samples)
+	if est.Adaptive {
+		fmt.Printf("samples:          %d routed trials (adaptive, per-pair CI target %.3g)\n", est.Samples, est.TargetCI)
+	} else {
+		fmt.Printf("samples:          %d routed trials\n", est.Samples)
+	}
 	return nil
 }
 

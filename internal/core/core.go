@@ -20,9 +20,12 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
+	"navaug/internal/experiments"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
+	"navaug/internal/report"
 	"navaug/internal/route"
+	"navaug/internal/scenario"
 	"navaug/internal/sim"
 	"navaug/internal/xrand"
 )
@@ -65,6 +68,66 @@ func (a *AugmentedGraph) Route(s, t graph.NodeID, seed uint64) (route.Result, er
 // EstimateGreedyDiameter estimates diam(G, φ) by Monte Carlo sampling.
 func (a *AugmentedGraph) EstimateGreedyDiameter(cfg sim.Config) (*sim.Estimate, error) {
 	return sim.EstimateGreedyDiameter(a.g, a.scheme, cfg)
+}
+
+// RunSuite runs the selected experiments (nil or empty ids = all) on one
+// shared scenario runner — graphs, distance fields and prepared schemes are
+// built once and shared across every experiment of the run, and cells
+// execute concurrently on one persistent engine — and returns the full
+// report (manifest + per-experiment tables).
+//
+// The returned error is the first experiment failure in selection order;
+// the report is still returned with per-experiment Error fields filled, so
+// callers can render partial results.
+func RunSuite(ids []string, cfg scenario.Config) (*report.Report, error) {
+	var specs []scenario.Spec
+	if len(ids) == 0 {
+		specs = experiments.All()
+	} else {
+		for _, id := range ids {
+			spec, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return nil, fmt.Errorf("core: unknown experiment %q (known: %s)",
+					id, strings.Join(experiments.IDs(), ", "))
+			}
+			specs = append(specs, spec)
+		}
+	}
+	cfg = cfg.WithDefaults()
+	runner := scenario.NewRunner(cfg)
+	defer runner.Close()
+	results := runner.RunAll(specs)
+
+	rep := &report.Report{
+		Manifest: report.Manifest{
+			Tool:           "navsim",
+			FormatVersion:  report.FormatVersion,
+			Seed:           cfg.Seed,
+			Scale:          cfg.Scale,
+			Precision:      cfg.Precision,
+			PairsOverride:  cfg.Pairs,
+			TrialsOverride: cfg.Trials,
+			MaxTrials:      cfg.MaxTrials,
+		},
+	}
+	var firstErr error
+	for _, res := range results {
+		rep.Manifest.Experiments = append(rep.Manifest.Experiments, res.Spec.ID)
+		er := report.ExperimentResult{
+			ID:     res.Spec.ID,
+			Title:  res.Spec.Title,
+			Claim:  res.Spec.Claim,
+			Tables: res.Tables,
+		}
+		if res.Err != nil {
+			er.Error = res.Err.Error()
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+		}
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	return rep, firstErr
 }
 
 // SchemeByName instantiates one of the paper's schemes from a string

@@ -3,49 +3,34 @@ package experiments
 import (
 	"math"
 
-	"navaug/internal/augment"
-	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/stats"
+	"navaug/internal/scenario"
 )
 
 // E1 reproduces the O(√n) upper bound for the uniform scheme (Peleg's
 // observation, restated before Theorem 1): for every graph family the greedy
 // diameter under uniform augmentation grows like √n.
-func E1() Experiment {
-	return Experiment{
-		ID:    "E1",
-		Title: "Uniform scheme is O(√n) on every family",
-		Claim: "greedy diameter under φ_unif scales as ~n^0.5 on paths, cycles, grids, trees and sparse random graphs",
-		Run:   runE1,
-	}
-}
+func E1() scenario.Spec {
+	return scenario.Sweep{
+		ID:       "E1",
+		Title:    "Uniform scheme is O(√n) on every family",
+		Claim:    "greedy diameter under φ_unif scales as ~n^0.5 on paths, cycles, grids, trees and sparse random graphs",
+		Families: standardFamilies(),
+		Sizes:    []int{1024, 2048, 4096, 8192, 16384},
+		Schemes:  []scenario.SchemeRef{uniformScheme()},
+		Pairs:    12,
+		Trials:   6,
 
-func runE1(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(1024, 2048, 4096, 8192, 16384)
-	detail := report.NewTable("E1: uniform scheme, greedy diameter vs n",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95", "sqrt(n)", "gd/sqrt(n)")
-	fits := report.NewTable("E1: fitted scaling exponents (expect ≈ 0.5)",
-		"family", "exponent", "R2", "points")
-
-	scheme := augment.NewUniformScheme()
-	for _, fam := range standardFamilies() {
-		xs, ys, err := runFamilySweep(detail, fam, sizes, scheme, cfg, 12, 6,
-			func(n int, est *sim.Estimate) []any {
-				sq := math.Sqrt(float64(n))
-				return []any{sq, est.GreedyDiameter / sq}
-			})
-		if err != nil {
-			return nil, err
-		}
-		fit, err := stats.PowerLaw(xs, ys)
-		if err != nil {
-			return nil, err
-		}
-		fits.AddRow(fam.name, fit.Exponent, fit.R2, fit.N)
-	}
-	fits.AddNote("Theorem 1 / Peleg: uniform augmentation gives O(√n) greedy diameter on every graph; "+
-		"the fitted exponents should cluster near 0.5 (seed %d)", cfg.Seed)
-	return []*report.Table{detail, fits}, nil
+		DetailTitle: "E1: uniform scheme, greedy diameter vs n",
+		Columns: []scenario.Column{
+			{Name: "sqrt(n)", Value: func(r scenario.CellResult) any {
+				return math.Sqrt(float64(r.Est.N))
+			}},
+			{Name: "gd/sqrt(n)", Value: func(r scenario.CellResult) any {
+				return r.Est.GreedyDiameter / math.Sqrt(float64(r.Est.N))
+			}},
+		},
+		FitTitle: "E1: fitted scaling exponents (expect ≈ 0.5)",
+		FitNote: "Theorem 1 / Peleg: uniform augmentation gives O(√n) greedy diameter on every graph; " +
+			"the fitted exponents should cluster near 0.5",
+	}.Spec()
 }

@@ -1,19 +1,17 @@
 package experiments
 
 import (
-	"fmt"
-
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/report"
-	"navaug/internal/sim"
+	"navaug/internal/scenario"
+	"navaug/internal/xrand"
 )
 
-// E10 runs the ablations called out in DESIGN.md: each design ingredient of
-// the paper's two constructions is removed in turn to show it is load
-// bearing.
+// E10 runs the construction ablations: each design ingredient of the
+// paper's two constructions is removed in turn to show it is load bearing.
 //
 //	(a) Theorem 2 without the uniform half of M: loses the √n fallback on
 //	    large-pathshape graphs (grids), while remaining fine on trees.
@@ -23,95 +21,86 @@ import (
 //	    Õ(n^{1/3}).
 //	(c) Theorem 4 drawing contacts uniformly over distances ("rank uniform")
 //	    instead of uniformly over the ball.
-func E10() Experiment {
-	return Experiment{
+func E10() scenario.Spec {
+	gridFamily := scenario.GraphFamily("grid", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+		side := intSqrt(n)
+		return gen.Grid2D(side, side), nil
+	})
+	treeFamily := scenario.GraphFamily("binary-tree", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+		return gen.BinaryTree(n), nil
+	})
+	pathFamily := scenario.GraphFamily("path",
+		func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil })
+
+	gridDecomp := func(g *graph.Graph) (*decomp.PathDecomposition, error) { return decomp.BFSLayers(g, 0) }
+	treeDecomp := func(g *graph.Graph) (*decomp.PathDecomposition, error) { return decomp.TreeCentroid(g) }
+	// The cache key must identify the decomposition, not just the ablation:
+	// both variants report as "theorem2-ancestor-only", but preparing one
+	// must never satisfy a cell that asked for the other.
+	ancestorOnly := func(kind string, dec func(*graph.Graph) (*decomp.PathDecomposition, error)) scenario.SchemeRef {
+		return scenario.SchemeRef{Key: "theorem2-ancestor-" + kind, New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+			return &augment.Theorem2Scheme{Decompose: dec, AncestorOnly: true}, nil
+		}}
+	}
+
+	const tagA, tagB = "a", "b"
+	return scenario.Spec{
 		ID:    "E10",
 		Title: "Ablations of the Theorem 2 and Theorem 4 constructions",
 		Claim: "removing the uniform half (Thm 2) or the scale mixture (Thm 4) visibly degrades the corresponding guarantee",
-		Run:   runE10,
-	}
-}
-
-func runE10(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-
-	ta, err := runE10Theorem2Ablation(cfg)
-	if err != nil {
-		return nil, err
-	}
-	tb, err := runE10BallAblation(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []*report.Table{ta, tb}, nil
-}
-
-func runE10Theorem2Ablation(cfg Config) (*report.Table, error) {
-	t := report.NewTable("E10a: Theorem 2 with and without the uniform half of M",
-		"graph", "n", "scheme", "greedy_diam", "mean_steps", "ci95")
-
-	sizes := cfg.scaleSizes(4096, 16384)
-	for _, n := range sizes {
-		side := intSqrt(n)
-		grid := gen.Grid2D(side, side)
-		tree := gen.BinaryTree(n)
-
-		gridDecomp := func(g *graph.Graph) (*decomp.PathDecomposition, error) { return decomp.BFSLayers(g, 0) }
-		treeDecomp := func(g *graph.Graph) (*decomp.PathDecomposition, error) { return decomp.TreeCentroid(g) }
-
-		cases := []struct {
-			g      *graph.Graph
-			scheme augment.Scheme
-		}{
-			{grid, augment.NewTheorem2Scheme(gridDecomp)},
-			{grid, &augment.Theorem2Scheme{Decompose: gridDecomp, AncestorOnly: true}},
-			{tree, augment.NewTheorem2Scheme(treeDecomp)},
-			{tree, &augment.Theorem2Scheme{Decompose: treeDecomp, AncestorOnly: true}},
-		}
-		for _, c := range cases {
-			est, err := sim.EstimateGreedyDiameter(c.g, c.scheme, cfg.simConfig(8, 4))
-			if err != nil {
-				return nil, fmt.Errorf("E10a: %s on %s: %w", c.scheme.Name(), c.g.Name(), err)
+		CellsFn: func(cfg Config) ([]scenario.Cell, error) {
+			sizes := cfg.ScaleSizes(4096, 16384)
+			var cells []scenario.Cell
+			add := func(tag string, fam scenario.Family, n int, scheme scenario.SchemeRef, pairs, trials int) {
+				cells = append(cells, scenario.Cell{
+					Graph: fam.Ref(n), Scheme: scheme, Pairs: pairs, Trials: trials, Tag: tag,
+				})
 			}
-			t.AddRow(c.g.Name(), c.g.N(), c.scheme.Name(), est.GreedyDiameter, est.MeanSteps, est.CI95)
-		}
-	}
-	t.AddNote("expected: on grids the ancestor-only variant is clearly worse than the full scheme (the uniform " +
-		"half provides the O(√n) fallback); on trees both variants are polylog")
-	return t, nil
-}
-
-func runE10BallAblation(cfg Config) (*report.Table, error) {
-	t := report.NewTable("E10b: ball scheme scale-mixture and sampling ablations",
-		"graph", "n", "scheme", "greedy_diam", "mean_steps", "ci95")
-
-	sizes := cfg.scaleSizes(4096, 16384)
-	for _, n := range sizes {
-		path := gen.Path(n)
-		side := intSqrt(n)
-		grid := gen.Grid2D(side, side)
-		maxScale := 1
-		for 1<<uint(maxScale) < n {
-			maxScale++
-		}
-		schemes := []augment.Scheme{
-			augment.NewBallScheme(),
-			&augment.BallScheme{FixedScale: 2},
-			&augment.BallScheme{FixedScale: maxScale},
-			&augment.BallScheme{RankUniform: true},
-			augment.NewUniformScheme(),
-		}
-		for _, g := range []*graph.Graph{path, grid} {
-			for _, s := range schemes {
-				est, err := sim.EstimateGreedyDiameter(g, s, cfg.simConfig(6, 3))
-				if err != nil {
-					return nil, fmt.Errorf("E10b: %s on %s: %w", s.Name(), g.Name(), err)
+			for _, n := range sizes {
+				// (a) Theorem 2 with and without the uniform half of M.
+				add(tagA, gridFamily, n, theorem2BFSScheme(), 8, 4)
+				add(tagA, gridFamily, n, ancestorOnly("bfs", gridDecomp), 8, 4)
+				add(tagA, treeFamily, n, theorem2TreeScheme(), 8, 4)
+				add(tagA, treeFamily, n, ancestorOnly("centroid", treeDecomp), 8, 4)
+			}
+			for _, n := range sizes {
+				// (b) Ball-scheme scale-mixture and sampling ablations.
+				maxScale := 1
+				for 1<<uint(maxScale) < n {
+					maxScale++
 				}
-				t.AddRow(g.Name(), g.N(), s.Name(), est.GreedyDiameter, est.MeanSteps, est.CI95)
+				schemes := []scenario.SchemeRef{
+					ballScheme(),
+					scenario.Scheme(&augment.BallScheme{FixedScale: 2}),
+					scenario.Scheme(&augment.BallScheme{FixedScale: maxScale}),
+					scenario.Scheme(&augment.BallScheme{RankUniform: true}),
+					uniformScheme(),
+				}
+				for _, fam := range []scenario.Family{pathFamily, gridFamily} {
+					for _, s := range schemes {
+						add(tagB, fam, n, s, 6, 3)
+					}
+				}
 			}
-		}
+			return cells, nil
+		},
+		RenderFn: func(cfg Config, res []scenario.CellResult) ([]*report.Table, error) {
+			ta := report.NewTable("E10a: Theorem 2 with and without the uniform half of M",
+				"graph", "n", "scheme", "greedy_diam", "mean_steps", "ci95")
+			tb := report.NewTable("E10b: ball scheme scale-mixture and sampling ablations",
+				"graph", "n", "scheme", "greedy_diam", "mean_steps", "ci95")
+			for _, r := range res {
+				t := ta
+				if r.Cell.Tag == tagB {
+					t = tb
+				}
+				t.AddRow(r.Est.GraphName, r.Est.N, r.Est.Scheme, r.Est.GreedyDiameter, r.Est.MeanSteps, r.Est.CI95)
+			}
+			ta.AddNote("expected: on grids the ancestor-only variant is clearly worse than the full scheme (the uniform " +
+				"half provides the O(√n) fallback); on trees both variants are polylog")
+			tb.AddNote("expected: the full mixed-scale ball scheme beats both fixed-scale ablations (tiny scale ≈ plain " +
+				"walking, maximal scale ≈ uniform scheme ≈ √n); rank-uniform sampling remains competitive")
+			return []*report.Table{ta, tb}, nil
+		},
 	}
-	t.AddNote("expected: the full mixed-scale ball scheme beats both fixed-scale ablations (tiny scale ≈ plain " +
-		"walking, maximal scale ≈ uniform scheme ≈ √n); rank-uniform sampling remains competitive")
-	return t, nil
 }

@@ -8,6 +8,7 @@ import (
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/report"
+	"navaug/internal/scenario"
 	"navaug/internal/sim"
 	"navaug/internal/xrand"
 )
@@ -20,74 +21,114 @@ import (
 // argument forces both back to Θ(√n): routing across the low-mass segment
 // gains essentially nothing over plain walking, so the greedy diameter is at
 // least the segment pair distance ≈ √n/3.
-func E2() Experiment {
-	return Experiment{
+func E2() scenario.Spec {
+	pathFamily := scenario.GraphFamily("path",
+		func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil })
+	snapToSquares := func(sizes []int) []int {
+		out := make([]int, 0, len(sizes))
+		for _, n := range sizes {
+			s := intSqrt(n)
+			if n-s*s > (s+1)*(s+1)-n {
+				s++
+			}
+			sq := s * s
+			if sq < 64 {
+				sq = 64
+			}
+			if len(out) == 0 || sq > out[len(out)-1] {
+				out = append(out, sq)
+			}
+		}
+		return out
+	}
+	return scenario.Spec{
 		ID:    "E2",
 		Title: "Name-independent matrix schemes are Ω(√n) on the path",
 		Claim: "for any matrix there is a labeling of the path whose greedy diameter is ≥ ~√n/3; the harmonic matrix drops from polylog (identity labels) to Ω(√n) (adversarial labels)",
-		Run:   runE2,
-	}
-}
-
-func runE2(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	// Dense n×n matrices: keep n moderate (perfect squares make √n exact).
-	sizes := cfg.scaleSizes(900, 1600, 2500)
-	t := report.NewTable("E2: matrix schemes on the path, identity vs adversarial labeling",
-		"n", "matrix", "labeling", "pair_dist", "mean_steps", "ci95", "steps/pair_dist", "sqrt(n)/3", "segment_mass")
-
-	for _, n := range sizes {
-		g := gen.Path(n)
-		rng := xrand.New(cfg.Seed + uint64(n))
-		matrices := []struct {
-			name string
-			m    *augment.Matrix
-		}{
-			{"uniform", augment.NewUniformMatrix(n)},
-			{"harmonic", augment.NewHarmonicMatrix(n)},
-		}
-		for _, mat := range matrices {
-			// Identity labeling, routing the extremal pair (0, n-1).
-			idPair := sim.Pair{Source: 0, Target: graph.NodeID(n - 1)}
-			if err := runE2Case(t, g, mat.m, mat.name, "identity", nil, -1, cfg, idPair); err != nil {
-				return nil, err
+		CellsFn: func(cfg Config) ([]scenario.Cell, error) {
+			// Dense n×n matrices: keep n moderate.  Sizes are snapped to
+			// perfect squares after scaling: the Theorem 1 counting argument
+			// needs a ⌈√n⌉-label set of internal mass < 1, which for the
+			// uniform matrix requires ⌈√n⌉·(⌈√n⌉-1) < n — guaranteed at n=s²,
+			// impossible just below it.
+			sizes := snapToSquares(cfg.ScaleSizes(900, 1600, 2500))
+			var cells []scenario.Cell
+			for _, n := range sizes {
+				n := n
+				for _, matName := range []string{"uniform", "harmonic"} {
+					matName := matName
+					// The dense n×n matrix is deliberately NOT captured by the
+					// cells: it is rebuilt inside SchemeRef.New so the
+					// runner's refcounted instance cache bounds its lifetime
+					// to the cells that measure it, instead of pinning every
+					// size's matrix from enumeration to the end of the run.
+					build := func() *augment.Matrix {
+						if matName == "harmonic" {
+							return augment.NewHarmonicMatrix(n)
+						}
+						return augment.NewUniformMatrix(n)
+					}
+					// Identity labeling, routing the extremal pair (0, n-1).
+					cells = append(cells, scenario.Cell{
+						Graph: pathFamily.Ref(n),
+						Scheme: scenario.SchemeRef{
+							Key: matName + "-identity",
+							New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+								return &augment.NameIndependentScheme{Matrix: build(), SchemeName: matName + "-identity"}, nil
+							},
+						},
+						Trials:     12,
+						FixedPairs: []sim.Pair{{Source: 0, Target: graph.NodeID(n - 1)}},
+						Tag:        matName,
+						Data:       -1.0,
+					})
+					// Adversarial labeling from the Theorem 1 construction,
+					// routing the pair inside the shortcut-free segment.  The
+					// labeling RNG is derived from (seed, n, matrix) alone so
+					// cells stay independent of execution order; only the
+					// permutation and pair survive enumeration.
+					rng := xrand.New(cfg.Seed + uint64(n)*0x9e3779b97f4a7c15 + scenario.Hash64(matName))
+					adv, err := augment.AdversarialPathLabeling(build(), rng)
+					if err != nil {
+						return nil, fmt.Errorf("E2: adversarial labeling for %s n=%d: %w", matName, n, err)
+					}
+					cells = append(cells, scenario.Cell{
+						Graph: pathFamily.Ref(n),
+						Scheme: scenario.SchemeRef{
+							Key: matName + "-adversarial",
+							New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+								return &augment.NameIndependentScheme{Matrix: build(), Perm: adv.Perm, SchemeName: matName + "-adversarial"}, nil
+							},
+						},
+						Trials:     12,
+						FixedPairs: []sim.Pair{{Source: graph.NodeID(adv.Source), Target: graph.NodeID(adv.Target)}},
+						Tag:        matName,
+						Data:       adv.Mass,
+					})
+				}
 			}
-			// Adversarial labeling from the Theorem 1 construction, routing the
-			// pair inside the shortcut-free segment.
-			adv, err := augment.AdversarialPathLabeling(mat.m, rng)
-			if err != nil {
-				return nil, fmt.Errorf("E2: adversarial labeling for %s n=%d: %w", mat.name, n, err)
+			return cells, nil
+		},
+		RenderFn: func(cfg Config, res []scenario.CellResult) ([]*report.Table, error) {
+			t := report.NewTable("E2: matrix schemes on the path, identity vs adversarial labeling",
+				"n", "matrix", "labeling", "pair_dist", "mean_steps", "ci95", "steps/pair_dist", "sqrt(n)/3", "segment_mass")
+			for _, r := range res {
+				pair := r.Cell.FixedPairs[0]
+				pairDist := math.Abs(float64(pair.Target - pair.Source))
+				labeling := "adversarial"
+				massCell := report.Cell(r.Cell.Data)
+				if mass := r.Cell.Data.(float64); mass < 0 {
+					labeling = "identity"
+					massCell = "-"
+				}
+				t.AddRow(r.Est.N, r.Cell.Tag, labeling, pairDist, r.Est.MeanSteps, r.Est.CI95,
+					r.Est.MeanSteps/pairDist, math.Sqrt(float64(r.Est.N))/3, massCell)
 			}
-			advPair := sim.Pair{Source: graph.NodeID(adv.Source), Target: graph.NodeID(adv.Target)}
-			if err := runE2Case(t, g, mat.m, mat.name, "adversarial", adv.Perm, adv.Mass, cfg, advPair); err != nil {
-				return nil, err
-			}
-		}
+			t.AddNote("identity rows route the extremal pair (0, n-1); adversarial rows route the pair inside the " +
+				"low-mass segment prescribed by the Theorem 1 proof (distance ≈ √n/3)")
+			t.AddNote("expected shape: harmonic/identity compresses an (n-1)-hop pair into polylog steps " +
+				"(steps/pair_dist ≪ 1) while every adversarial row stays at steps/pair_dist ≈ 1, i.e. Ω(√n) greedy diameter")
+			return []*report.Table{t}, nil
+		},
 	}
-	t.AddNote("identity rows route the extremal pair (0, n-1); adversarial rows route the pair inside the " +
-		"low-mass segment prescribed by the Theorem 1 proof (distance ≈ √n/3)")
-	t.AddNote("expected shape: harmonic/identity compresses an (n-1)-hop pair into polylog steps " +
-		"(steps/pair_dist ≪ 1) while every adversarial row stays at steps/pair_dist ≈ 1, i.e. Ω(√n) greedy diameter")
-	return []*report.Table{t}, nil
-}
-
-func runE2Case(t *report.Table, g *graph.Graph, m *augment.Matrix, matName, labName string,
-	perm []int, mass float64, cfg Config, pair sim.Pair) error {
-
-	n := g.N()
-	scheme := &augment.NameIndependentScheme{Matrix: m, Perm: perm, SchemeName: matName + "-" + labName}
-	simCfg := cfg.simConfig(1, 12)
-	simCfg.FixedPairs = []sim.Pair{pair}
-	est, err := sim.EstimateGreedyDiameter(g, scheme, simCfg)
-	if err != nil {
-		return fmt.Errorf("E2: %s/%s n=%d: %w", matName, labName, n, err)
-	}
-	pairDist := math.Abs(float64(pair.Target - pair.Source))
-	massCell := "-"
-	if mass >= 0 {
-		massCell = report.Cell(mass)
-	}
-	t.AddRow(n, matName, labName, pairDist, est.MeanSteps, est.CI95,
-		est.MeanSteps/pairDist, math.Sqrt(float64(n))/3, massCell)
-	return nil
 }

@@ -3,13 +3,9 @@ package experiments
 import (
 	"math"
 
-	"navaug/internal/augment"
-	"navaug/internal/decomp"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
-	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/stats"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
@@ -17,78 +13,57 @@ import (
 // with the labeling derived from a centroid path decomposition, yields a
 // polylogarithmic (O(log³ n)) greedy diameter on trees, while the uniform
 // scheme stays polynomial on the same instances.
-func E3() Experiment {
-	return Experiment{
+//
+// The tree families are chosen so that the uniform baseline genuinely needs
+// ~√n steps (long paths inside the tree), which is where the Corollary 1
+// separation shows: on shallow bushy trees every scheme is trivially fast
+// because the diameter itself is small.
+func E3() scenario.Spec {
+	log2cubed := func(n int) float64 { return math.Pow(math.Log2(float64(n)), 3) }
+	return scenario.Sweep{
 		ID:    "E3",
 		Title: "Theorem 2 scheme is polylog on trees",
 		Claim: "greedy diameter of (M,L) on trees stays below the log³ n envelope and grows with a visibly smaller exponent than the uniform scheme's ~0.5, with the gap widening as n grows",
-		Run:   runE3,
-	}
-}
+		Families: []scenario.Family{
+			scenario.GraphFamily("caterpillar", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+				spine := n / 4
+				if spine < 1 {
+					spine = 1
+				}
+				return gen.Caterpillar(spine, 3), nil
+			}),
+			scenario.GraphFamily("spider", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+				legs := 8
+				legLen := (n - 1) / legs
+				if legLen < 1 {
+					legLen = 1
+				}
+				return gen.Spider(legs, legLen), nil
+			}),
+			scenario.GraphFamily("random-tree", func(n int, rng *xrand.RNG) (*graph.Graph, error) {
+				return gen.RandomTree(n, rng), nil
+			}),
+		},
+		// The polylog-vs-√n separation needs larger sizes than the other
+		// sweeps because the O(log³ n) bound carries a sizeable constant; the
+		// sweep is still cheap because contact draws under (M, L) cost
+		// O(log n).
+		Sizes:   []int{4096, 16384, 65536, 262144},
+		Schemes: []scenario.SchemeRef{theorem2TreeScheme(), uniformScheme()},
+		Pairs:   10,
+		Trials:  6,
 
-// treeFamilies are the tree families used by E3.  They are chosen so that
-// the uniform baseline genuinely needs ~√n steps (long paths inside the
-// tree), which is where the Corollary 1 separation shows: on shallow bushy
-// trees every scheme is trivially fast because the diameter itself is small.
-func treeFamilies() []familyBuilder {
-	return []familyBuilder{
-		{name: "caterpillar", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) {
-			spine := n / 4
-			if spine < 1 {
-				spine = 1
-			}
-			return gen.Caterpillar(spine, 3), nil
-		}},
-		{name: "spider", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) {
-			legs := 8
-			legLen := (n - 1) / legs
-			if legLen < 1 {
-				legLen = 1
-			}
-			return gen.Spider(legs, legLen), nil
-		}},
-		{name: "random-tree", build: func(n int, rng *xrand.RNG) (*graph.Graph, error) { return gen.RandomTree(n, rng), nil }},
-	}
-}
-
-// theorem2TreeScheme is the (M, L) scheme wired to the centroid
-// decomposition, the construction Corollary 1 relies on for trees.
-func theorem2TreeScheme() augment.Scheme {
-	return augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
-		return decomp.TreeCentroid(g)
-	})
-}
-
-func runE3(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	// The polylog-vs-√n separation needs larger sizes than the other sweeps
-	// because the O(log³ n) bound carries a sizeable constant; the sweep is
-	// still cheap because contact draws under (M, L) cost O(log n).
-	sizes := cfg.scaleSizes(4096, 16384, 65536, 262144)
-	detail := report.NewTable("E3: trees, Theorem 2 scheme vs uniform",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95", "log2^3(n)", "gd/log2^3(n)")
-	fits := report.NewTable("E3: fitted power-law exponents (theorem2 ≪ uniform ≈ 0.5)",
-		"family", "scheme", "exponent", "R2")
-
-	schemes := []augment.Scheme{theorem2TreeScheme(), augment.NewUniformScheme()}
-	for _, fam := range treeFamilies() {
-		for _, scheme := range schemes {
-			xs, ys, err := runFamilySweep(detail, fam, sizes, scheme, cfg, 10, 6,
-				func(n int, est *sim.Estimate) []any {
-					l := math.Pow(math.Log2(float64(n)), 3)
-					return []any{l, est.GreedyDiameter / l}
-				})
-			if err != nil {
-				return nil, err
-			}
-			fit, err := stats.PowerLaw(xs, ys)
-			if err != nil {
-				return nil, err
-			}
-			fits.AddRow(fam.name, scheme.Name(), fit.Exponent, fit.R2)
-		}
-	}
-	fits.AddNote("Corollary 1: trees have pathshape O(log n), so (M,L) gives O(log³ n) greedy diameter; " +
-		"its fitted power-law exponent should be far below the uniform scheme's ~0.5")
-	return []*report.Table{detail, fits}, nil
+		DetailTitle: "E3: trees, Theorem 2 scheme vs uniform",
+		Columns: []scenario.Column{
+			{Name: "log2^3(n)", Value: func(r scenario.CellResult) any {
+				return log2cubed(r.Est.N)
+			}},
+			{Name: "gd/log2^3(n)", Value: func(r scenario.CellResult) any {
+				return r.Est.GreedyDiameter / log2cubed(r.Est.N)
+			}},
+		},
+		FitTitle: "E3: fitted power-law exponents (theorem2 ≪ uniform ≈ 0.5)",
+		FitNote: "Corollary 1: trees have pathshape O(log n), so (M,L) gives O(log³ n) greedy diameter; " +
+			"its fitted power-law exponent should be far below the uniform scheme's ~0.5",
+	}.Spec()
 }

@@ -8,9 +8,7 @@ import (
 	"navaug/internal/decomp"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
-	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/stats"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
@@ -18,78 +16,58 @@ import (
 // represented here by random interval graphs and thick unit-interval graphs,
 // whose clique-path decompositions have pathlength 1 and hence pathshape 1 —
 // the Theorem 2 scheme yields an O(log² n) greedy diameter.
-func E4() Experiment {
-	return Experiment{
+//
+// The interval families carry their interval model through BuiltGraph.Aux:
+// the clique-path decomposition the scheme labels with comes from the model
+// of the specific instance, so the scheme is bound per graph.
+func E4() scenario.Spec {
+	log2sq := func(n int) float64 { return math.Pow(math.Log2(float64(n)), 2) }
+	theorem2Interval := scenario.SchemeRef{
+		Key: "theorem2-interval",
+		New: func(bg *scenario.BuiltGraph) (augment.Scheme, error) {
+			model, ok := bg.Aux.(gen.IntervalModel)
+			if !ok {
+				return nil, fmt.Errorf("E4: graph %s carries no interval model", bg.G.Name())
+			}
+			pd := decomp.IntervalCliquePath(model)
+			return augment.NewTheorem2Scheme(func(*graph.Graph) (*decomp.PathDecomposition, error) {
+				return pd, nil
+			}), nil
+		},
+	}
+	return scenario.Sweep{
 		ID:    "E4",
 		Title: "Theorem 2 scheme is O(log² n) on interval (AT-free) graphs",
 		Claim: "with the clique-path labeling, greedy diameter on interval graphs grows like polylog(n) (≤ ~log² n); the uniform scheme remains polynomial",
-		Run:   runE4,
-	}
-}
+		Families: []scenario.Family{
+			{Name: "random-interval", Build: func(n int, rng *xrand.RNG) (*scenario.BuiltGraph, error) {
+				g, model := gen.RandomIntervalGraph(n, 3.0, rng)
+				return &scenario.BuiltGraph{G: g, Aux: model}, nil
+			}},
+			{Name: "unit-interval", Build: func(n int, _ *xrand.RNG) (*scenario.BuiltGraph, error) {
+				g, model := gen.UnitIntervalPath(n, 4)
+				return &scenario.BuiltGraph{G: g, Aux: model}, nil
+			}},
+		},
+		// As in E3, larger sizes are needed before the O(log² n) regime beats
+		// the √n baseline; interval-graph instances stay cheap (sparse
+		// models, O(log n) contact draws).
+		Sizes:   []int{4096, 16384, 65536, 262144},
+		Schemes: []scenario.SchemeRef{theorem2Interval, uniformScheme()},
+		Pairs:   10,
+		Trials:  6,
 
-func runE4(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	// As in E3, larger sizes are needed before the O(log² n) regime beats the
-	// √n baseline; interval-graph instances stay cheap (sparse models, O(log n)
-	// contact draws).
-	sizes := cfg.scaleSizes(4096, 16384, 65536, 262144)
-	detail := report.NewTable("E4: interval graphs, Theorem 2 scheme vs uniform",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95", "log2^2(n)", "gd/log2^2(n)")
-	fits := report.NewTable("E4: fitted power-law exponents (theorem2 ≪ uniform)",
-		"family", "scheme", "exponent", "R2")
-
-	type intervalFamily struct {
-		name  string
-		build func(n int, rng *xrand.RNG) (*graph.Graph, gen.IntervalModel, error)
-	}
-	families := []intervalFamily{
-		{name: "random-interval", build: func(n int, rng *xrand.RNG) (*graph.Graph, gen.IntervalModel, error) {
-			g, model := gen.RandomIntervalGraph(n, 3.0, rng)
-			return g, model, nil
-		}},
-		{name: "unit-interval", build: func(n int, _ *xrand.RNG) (*graph.Graph, gen.IntervalModel, error) {
-			g, model := gen.UnitIntervalPath(n, 4)
-			return g, model, nil
-		}},
-	}
-
-	for _, fam := range families {
-		rng := xrand.New(cfg.Seed ^ hashString(fam.name))
-		for _, schemeKind := range []string{"theorem2", "uniform"} {
-			var xs, ys []float64
-			for _, n := range sizes {
-				g, model, err := fam.build(n, rng)
-				if err != nil {
-					return nil, err
-				}
-				var scheme augment.Scheme
-				if schemeKind == "theorem2" {
-					// The clique-path decomposition comes from the interval model of
-					// this specific graph, so the scheme is bound per instance.
-					pd := decomp.IntervalCliquePath(model)
-					scheme = augment.NewTheorem2Scheme(func(*graph.Graph) (*decomp.PathDecomposition, error) {
-						return pd, nil
-					})
-				} else {
-					scheme = augment.NewUniformScheme()
-				}
-				est, err := sim.EstimateGreedyDiameter(g, scheme, cfg.simConfig(10, 6))
-				if err != nil {
-					return nil, fmt.Errorf("E4: %s/%s n=%d: %w", fam.name, schemeKind, n, err)
-				}
-				l2 := math.Pow(math.Log2(float64(g.N())), 2)
-				detail.AddRow(fam.name, g.N(), scheme.Name(), est.GreedyDiameter, est.MeanSteps, est.CI95, l2, est.GreedyDiameter/l2)
-				xs = append(xs, float64(g.N()))
-				ys = append(ys, est.GreedyDiameter)
-			}
-			fit, err := stats.PowerLaw(xs, ys)
-			if err != nil {
-				return nil, err
-			}
-			fits.AddRow(fam.name, schemeKind, fit.Exponent, fit.R2)
-		}
-	}
-	fits.AddNote("Corollary 1: AT-free graphs (interval graphs included) have constant pathlength, hence " +
-		"pathshape O(1), so (M,L) gives O(log² n) greedy diameter")
-	return []*report.Table{detail, fits}, nil
+		DetailTitle: "E4: interval graphs, Theorem 2 scheme vs uniform",
+		Columns: []scenario.Column{
+			{Name: "log2^2(n)", Value: func(r scenario.CellResult) any {
+				return log2sq(r.Est.N)
+			}},
+			{Name: "gd/log2^2(n)", Value: func(r scenario.CellResult) any {
+				return r.Est.GreedyDiameter / log2sq(r.Est.N)
+			}},
+		},
+		FitTitle: "E4: fitted power-law exponents (theorem2 ≪ uniform)",
+		FitNote: "Corollary 1: AT-free graphs (interval graphs included) have constant pathlength, hence " +
+			"pathshape O(1), so (M,L) gives O(log² n) greedy diameter",
+	}.Spec()
 }

@@ -3,12 +3,10 @@ package experiments
 import (
 	"math"
 
-	"navaug/internal/augment"
-	"navaug/internal/decomp"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/report"
-	"navaug/internal/sim"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
@@ -17,54 +15,47 @@ import (
 // generic BFS-layer construction) the uniform component of M keeps greedy
 // routing within O(√n) — the scheme never does substantially worse than the
 // plain uniform scheme.
-func E5() Experiment {
-	return Experiment{
+func E5() scenario.Spec {
+	return scenario.Sweep{
 		ID:    "E5",
 		Title: "Theorem 2 scheme preserves the O(√n) fallback on large-pathshape graphs",
 		Claim: "on grids and sparse random graphs, the (M,L) greedy diameter stays within a small constant factor of the uniform scheme's (and of ~3√n)",
-		Run:   runE5,
-	}
-}
+		Families: []scenario.Family{
+			scenario.GraphFamily("grid", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+				side := intSqrt(n)
+				return gen.Grid2D(side, side), nil
+			}),
+			scenario.GraphFamily("gnp", func(n int, rng *xrand.RNG) (*graph.Graph, error) {
+				return gen.ConnectedGNP(n, 3.0/float64(n), rng), nil
+			}),
+		},
+		Sizes:   []int{1024, 2048, 4096, 8192, 16384},
+		Schemes: []scenario.SchemeRef{theorem2BFSScheme(), uniformScheme()},
+		Pairs:   10,
+		Trials:  6,
 
-func runE5(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(1024, 2048, 4096, 8192, 16384)
-	t := report.NewTable("E5: Theorem 2 scheme on large-pathshape graphs",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95", "sqrt(n)", "gd/sqrt(n)")
-
-	families := []familyBuilder{
-		{name: "grid", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) {
-			side := intSqrt(n)
-			return gen.Grid2D(side, side), nil
-		}},
-		{name: "gnp", build: func(n int, rng *xrand.RNG) (*graph.Graph, error) {
-			return gen.ConnectedGNP(n, 3.0/float64(n), rng), nil
-		}},
-	}
-	theorem2 := augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
-		return decomp.BFSLayers(g, 0)
-	})
-	schemes := []augment.Scheme{theorem2, augment.NewUniformScheme()}
-
-	maxRatio := 0.0
-	for _, fam := range families {
-		for _, scheme := range schemes {
-			_, ys, err := runFamilySweep(t, fam, sizes, scheme, cfg, 10, 6,
-				func(n int, est *sim.Estimate) []any {
-					sq := math.Sqrt(float64(n))
-					r := est.GreedyDiameter / sq
-					if scheme == schemes[0] && r > maxRatio {
-						maxRatio = r
-					}
-					return []any{sq, r}
-				})
-			if err != nil {
-				return nil, err
+		DetailTitle: "E5: Theorem 2 scheme on large-pathshape graphs",
+		Columns: []scenario.Column{
+			{Name: "sqrt(n)", Value: func(r scenario.CellResult) any {
+				return math.Sqrt(float64(r.Est.N))
+			}},
+			{Name: "gd/sqrt(n)", Value: func(r scenario.CellResult) any {
+				return r.Est.GreedyDiameter / math.Sqrt(float64(r.Est.N))
+			}},
+		},
+		Finalize: func(res []scenario.CellResult, tables []*report.Table) {
+			maxRatio := 0.0
+			for _, r := range res {
+				if r.Cell.Scheme.Key != "theorem2-bfs" {
+					continue
+				}
+				if ratio := r.Est.GreedyDiameter / math.Sqrt(float64(r.Est.N)); ratio > maxRatio {
+					maxRatio = ratio
+				}
 			}
-			_ = ys
-		}
-	}
-	t.AddNote("Theorem 2 analysis: when √n ≤ ps(G)·log² n the uniform half of M alone bounds the expected "+
-		"number of steps by ~3√n; the largest observed gd/√n ratio for the (M,L) scheme in this run is %.2f", maxRatio)
-	return []*report.Table{t}, nil
+			tables[0].AddNote("Theorem 2 analysis: when √n ≤ ps(G)·log² n the uniform half of M alone bounds the "+
+				"expected number of steps by ~3√n; the largest observed gd/√n ratio for the (M,L) scheme in this "+
+				"run is %.2f", maxRatio)
+		},
+	}.Spec()
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"navaug/internal/augment"
+	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/report"
-	"navaug/internal/sim"
+	"navaug/internal/scenario"
 	"navaug/internal/stats"
+	"navaug/internal/xrand"
 )
 
 // E6 reproduces Theorem 3: matrix-based augmentation of the path with labels
@@ -16,49 +18,62 @@ import (
 // β < (1-ε)/3.  The experiment measures the natural block-harmonic scheme
 // with k labels and fits its scaling exponent, which should decrease towards
 // 0 as ε grows and always sit above the theorem's lower-bound exponent.
-func E6() Experiment {
-	return Experiment{
+func E6() scenario.Spec {
+	pathFamily := scenario.GraphFamily("path",
+		func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil })
+	epsilons := []float64{0, 0.25, 0.5, 0.75}
+	return scenario.Spec{
 		ID:    "E6",
 		Title: "Compressed labels force polynomial greedy diameter on the path (Theorem 3)",
 		Claim: "with k = n^ε labels the measured scaling exponent stays ≥ (1-ε)/3 and decreases as ε grows",
-		Run:   runE6,
-	}
-}
-
-func runE6(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(1024, 2048, 4096, 8192)
-	epsilons := []float64{0, 0.25, 0.5, 0.75}
-
-	detail := report.NewTable("E6: block-harmonic scheme on the path with n^ε labels",
-		"epsilon", "n", "labels_k", "greedy_diam", "mean_steps", "ci95")
-	summary := report.NewTable("E6: fitted exponent vs the Theorem 3 lower bound",
-		"epsilon", "fitted_exponent", "thm3_lower_bound_(1-eps)/3", "R2")
-
-	for _, eps := range epsilons {
-		var xs, ys []float64
-		for _, n := range sizes {
-			g := gen.Path(n)
-			scheme, err := augment.NewCompressedLabelPathScheme(n, eps)
-			if err != nil {
-				return nil, fmt.Errorf("E6: eps=%g n=%d: %w", eps, n, err)
+		CellsFn: func(cfg Config) ([]scenario.Cell, error) {
+			sizes := cfg.ScaleSizes(1024, 2048, 4096, 8192)
+			var cells []scenario.Cell
+			for _, eps := range epsilons {
+				eps := eps
+				for _, n := range sizes {
+					n := n
+					cells = append(cells, scenario.Cell{
+						Graph: pathFamily.Ref(n),
+						Scheme: scenario.SchemeRef{
+							Key: fmt.Sprintf("compressed-eps%g", eps),
+							New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+								return augment.NewCompressedLabelPathScheme(n, eps)
+							},
+						},
+						Pairs:  8,
+						Trials: 6,
+						Data:   eps,
+					})
+				}
 			}
-			est, err := sim.EstimateGreedyDiameter(g, scheme, cfg.simConfig(8, 6))
-			if err != nil {
-				return nil, fmt.Errorf("E6: eps=%g n=%d: %w", eps, n, err)
+			return cells, nil
+		},
+		RenderFn: func(cfg Config, res []scenario.CellResult) ([]*report.Table, error) {
+			detail := report.NewTable("E6: block-harmonic scheme on the path with n^ε labels",
+				"epsilon", "n", "labels_k", "greedy_diam", "mean_steps", "ci95")
+			summary := report.NewTable("E6: fitted exponent vs the Theorem 3 lower bound",
+				"epsilon", "fitted_exponent", "thm3_lower_bound_(1-eps)/3", "R2")
+			for _, eps := range epsilons {
+				var xs, ys []float64
+				for _, r := range res {
+					if r.Cell.Data.(float64) != eps {
+						continue
+					}
+					k := augment.LabelsForGraphSize(r.Est.N, eps)
+					detail.AddRow(eps, r.Est.N, k, r.Est.GreedyDiameter, r.Est.MeanSteps, r.Est.CI95)
+					xs = append(xs, float64(r.Est.N))
+					ys = append(ys, r.Est.GreedyDiameter)
+				}
+				fit, err := stats.PowerLaw(xs, ys)
+				if err != nil {
+					return nil, fmt.Errorf("E6: eps=%g: %w", eps, err)
+				}
+				summary.AddRow(eps, fit.Exponent, augment.Theorem3LowerBoundExponent(eps), fit.R2)
 			}
-			k := augment.LabelsForGraphSize(n, eps)
-			detail.AddRow(eps, n, k, est.GreedyDiameter, est.MeanSteps, est.CI95)
-			xs = append(xs, float64(n))
-			ys = append(ys, est.GreedyDiameter)
-		}
-		fit, err := stats.PowerLaw(xs, ys)
-		if err != nil {
-			return nil, err
-		}
-		summary.AddRow(eps, fit.Exponent, augment.Theorem3LowerBoundExponent(eps), fit.R2)
+			summary.AddNote("Theorem 3: any matrix scheme with ε·log n-bit labels has greedy diameter Ω(n^β) for all " +
+				"β < (1-ε)/3 on the path; measured exponents must stay above that line and shrink as ε grows")
+			return []*report.Table{detail, summary}, nil
+		},
 	}
-	summary.AddNote("Theorem 3: any matrix scheme with ε·log n-bit labels has greedy diameter Ω(n^β) for all " +
-		"β < (1-ε)/3 on the path; measured exponents must stay above that line and shrink as ε grows")
-	return []*report.Table{detail, summary}, nil
 }

@@ -3,53 +3,36 @@ package experiments
 import (
 	"math"
 
-	"navaug/internal/augment"
-	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/stats"
+	"navaug/internal/scenario"
 )
 
 // E7 reproduces the headline result, Theorem 4: the ball scheme (uniform
 // scale k ∈ {1..⌈log n⌉}, contact uniform in B(u, 2^k)) achieves greedy
 // diameter Õ(n^{1/3}) on every graph, breaking the √n barrier that no
 // matrix-based or uniform scheme can cross.
-func E7() Experiment {
-	return Experiment{
-		ID:    "E7",
-		Title: "Ball scheme achieves Õ(n^{1/3}) on every family (Theorem 4)",
-		Claim: "the fitted scaling exponent of the ball scheme is well below 0.5 on every family (≈ 1/3 up to log factors), while the uniform scheme stays at ≈ 0.5",
-		Run:   runE7,
-	}
-}
+func E7() scenario.Spec {
+	return scenario.Sweep{
+		ID:       "E7",
+		Title:    "Ball scheme achieves Õ(n^{1/3}) on every family (Theorem 4)",
+		Claim:    "the fitted scaling exponent of the ball scheme is well below 0.5 on every family (≈ 1/3 up to log factors), while the uniform scheme stays at ≈ 0.5",
+		Families: standardFamilies(),
+		Sizes:    []int{1024, 2048, 4096, 8192, 16384, 32768},
+		Schemes:  []scenario.SchemeRef{ballScheme(), uniformScheme()},
+		Pairs:    10,
+		Trials:   5,
 
-func runE7(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(1024, 2048, 4096, 8192, 16384, 32768)
-	detail := report.NewTable("E7: ball scheme, greedy diameter vs n",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95", "n^(1/3)", "gd/n^(1/3)")
-	fits := report.NewTable("E7: fitted scaling exponents (ball ≪ uniform ≈ 0.5)",
-		"family", "scheme", "exponent", "R2")
-
-	schemes := []augment.Scheme{augment.NewBallScheme(), augment.NewUniformScheme()}
-	for _, fam := range standardFamilies() {
-		for _, scheme := range schemes {
-			xs, ys, err := runFamilySweep(detail, fam, sizes, scheme, cfg, 10, 5,
-				func(n int, est *sim.Estimate) []any {
-					cr := math.Cbrt(float64(n))
-					return []any{cr, est.GreedyDiameter / cr}
-				})
-			if err != nil {
-				return nil, err
-			}
-			fit, err := stats.PowerLaw(xs, ys)
-			if err != nil {
-				return nil, err
-			}
-			fits.AddRow(fam.name, scheme.Name(), fit.Exponent, fit.R2)
-		}
-	}
-	fits.AddNote("Theorem 4: the ball scheme's greedy diameter is Õ(n^{1/3}); at laptop sizes the hidden " +
-		"polylog factors inflate the fitted exponent somewhat above 1/3, but it must sit clearly below the " +
-		"uniform scheme's ~0.5 on every family")
-	return []*report.Table{detail, fits}, nil
+		DetailTitle: "E7: ball scheme, greedy diameter vs n",
+		Columns: []scenario.Column{
+			{Name: "n^(1/3)", Value: func(r scenario.CellResult) any {
+				return math.Cbrt(float64(r.Est.N))
+			}},
+			{Name: "gd/n^(1/3)", Value: func(r scenario.CellResult) any {
+				return r.Est.GreedyDiameter / math.Cbrt(float64(r.Est.N))
+			}},
+		},
+		FitTitle: "E7: fitted scaling exponents (ball ≪ uniform ≈ 0.5)",
+		FitNote: "Theorem 4: the ball scheme's greedy diameter is Õ(n^{1/3}); at laptop sizes the hidden " +
+			"polylog factors inflate the fitted exponent somewhat above 1/3, but it must sit clearly below the " +
+			"uniform scheme's ~0.5 on every family",
+	}.Spec()
 }

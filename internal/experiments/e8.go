@@ -3,69 +3,77 @@ package experiments
 import (
 	"fmt"
 
-	"navaug/internal/augment"
 	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/xrand"
+	"navaug/internal/scenario"
 )
 
 // E8 examines the √n-barrier crossover directly: at which sizes does the
 // Theorem 4 ball scheme overtake the uniform scheme?  Asymptotically the
 // ratio uniform/ball grows like n^{1/6} (up to logs), so the ball scheme
 // must win on every family once n is large enough.
-func E8() Experiment {
-	return Experiment{
-		ID:    "E8",
-		Title: "√n-barrier crossover: ball scheme vs uniform scheme",
-		Claim: "the ratio uniform/ball exceeds 1 for large n on every family and grows with n",
-		Run:   runE8,
-	}
-}
-
-func runE8(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
-	t := report.NewTable("E8: uniform vs ball greedy diameter and crossover",
-		"family", "n", "uniform_gd", "ball_gd", "ratio_uniform/ball")
-
-	families := []familyBuilder{
+func E8() scenario.Spec {
+	families := []scenario.Family{
 		standardFamilies()[0], // path
 		standardFamilies()[2], // grid
 		standardFamilies()[3], // random-tree
 	}
-	crossovers := report.NewTable("E8: first measured size where the ball scheme wins",
-		"family", "crossover_n")
-	for _, fam := range families {
-		rng := xrand.New(cfg.Seed ^ hashString(fam.name))
-		crossover := -1
-		for _, n := range sizes {
-			g, err := fam.build(n, rng)
-			if err != nil {
-				return nil, err
+	return scenario.Spec{
+		ID:    "E8",
+		Title: "√n-barrier crossover: ball scheme vs uniform scheme",
+		Claim: "the ratio uniform/ball exceeds 1 for large n on every family and grows with n",
+		CellsFn: func(cfg Config) ([]scenario.Cell, error) {
+			sizes := cfg.ScaleSizes(512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+			var cells []scenario.Cell
+			for _, fam := range families {
+				for _, n := range sizes {
+					for _, scheme := range []scenario.SchemeRef{uniformScheme(), ballScheme()} {
+						cells = append(cells, scenario.Cell{
+							Graph:  fam.Ref(n),
+							Scheme: scheme,
+							Pairs:  8,
+							Trials: 4,
+						})
+					}
+				}
 			}
-			simCfg := cfg.simConfig(8, 4)
-			ests, err := sim.CompareSchemes(g,
-				[]augment.Scheme{augment.NewUniformScheme(), augment.NewBallScheme()}, simCfg)
-			if err != nil {
-				return nil, fmt.Errorf("E8: %s n=%d: %w", fam.name, n, err)
+			return cells, nil
+		},
+		RenderFn: func(cfg Config, res []scenario.CellResult) ([]*report.Table, error) {
+			t := report.NewTable("E8: uniform vs ball greedy diameter and crossover",
+				"family", "n", "uniform_gd", "ball_gd", "ratio_uniform/ball")
+			crossovers := report.NewTable("E8: first measured size where the ball scheme wins",
+				"family", "crossover_n")
+			// Match cells on their identity (family, requested n, scheme key)
+			// rather than on emission order.
+			for _, fam := range families {
+				crossover := -1
+				for _, r := range res {
+					if r.Cell.Graph.Family != fam.Name || r.Cell.Scheme.Key != "uniform" {
+						continue
+					}
+					uni := r.Est
+					ball := scenario.EstimateOf(res, fam.Name, r.Cell.Graph.N, "ball")
+					if ball == nil {
+						return nil, fmt.Errorf("E8: no ball estimate for %s n=%d", fam.Name, r.Cell.Graph.N)
+					}
+					ratio := 0.0
+					if ball.GreedyDiameter > 0 {
+						ratio = uni.GreedyDiameter / ball.GreedyDiameter
+					}
+					if ratio > 1 && crossover < 0 {
+						crossover = uni.N
+					}
+					t.AddRow(fam.Name, uni.N, uni.GreedyDiameter, ball.GreedyDiameter, ratio)
+				}
+				if crossover < 0 {
+					crossovers.AddRow(fam.Name, "not reached in sweep")
+				} else {
+					crossovers.AddRow(fam.Name, crossover)
+				}
 			}
-			uni, ball := ests[0], ests[1]
-			ratio := 0.0
-			if ball.GreedyDiameter > 0 {
-				ratio = uni.GreedyDiameter / ball.GreedyDiameter
-			}
-			if ratio > 1 && crossover < 0 {
-				crossover = g.N()
-			}
-			t.AddRow(fam.name, g.N(), uni.GreedyDiameter, ball.GreedyDiameter, ratio)
-		}
-		if crossover < 0 {
-			crossovers.AddRow(fam.name, "not reached in sweep")
-		} else {
-			crossovers.AddRow(fam.name, crossover)
-		}
+			t.AddNote("Theorem 4 vs Theorem 1: asymptotically uniform/ball ~ n^{1/6} (up to polylogs), so the ratio " +
+				"must exceed 1 and keep growing across the sweep")
+			return []*report.Table{t, crossovers}, nil
+		},
 	}
-	t.AddNote("Theorem 4 vs Theorem 1: asymptotically uniform/ball ~ n^{1/6} (up to polylogs), so the ratio " +
-		"must exceed 1 and keep growing across the sweep")
-	return []*report.Table{t, crossovers}, nil
 }

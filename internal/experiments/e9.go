@@ -1,14 +1,10 @@
 package experiments
 
 import (
-	"fmt"
-
 	"navaug/internal/augment"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
-	"navaug/internal/report"
-	"navaug/internal/sim"
-	"navaug/internal/stats"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
@@ -18,62 +14,31 @@ import (
 // grid) it is polylogarithmic, but it is not universal — the same matrix
 // applied to the wrong family degrades to a polynomial greedy diameter,
 // whereas the Theorem 4 ball scheme stays sub-√n everywhere.
-func E9() Experiment {
-	return Experiment{
+func E9() scenario.Spec {
+	return scenario.Sweep{
 		ID:    "E9",
 		Title: "Kleinberg harmonic baseline: excellent when tuned, not universal",
 		Claim: "harmonic-r is polylog when r matches the family's dimension and polynomial otherwise; the ball scheme is uniformly sub-√n",
-		Run:   runE9,
-	}
-}
+		Families: []scenario.Family{
+			scenario.GraphFamily("path", func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil }),
+			scenario.GraphFamily("grid", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+				side := intSqrt(n)
+				return gen.Grid2D(side, side), nil
+			}),
+		},
+		Sizes: []int{512, 1024, 2048, 4096, 8192},
+		Schemes: []scenario.SchemeRef{
+			scenario.Scheme(augment.NewHarmonicScheme(1)),
+			scenario.Scheme(augment.NewHarmonicScheme(2)),
+			ballScheme(),
+		},
+		Pairs:  6,
+		Trials: 4,
 
-func runE9(cfg Config) ([]*report.Table, error) {
-	cfg = cfg.withDefaults()
-	sizes := cfg.scaleSizes(512, 1024, 2048, 4096, 8192)
-	detail := report.NewTable("E9: harmonic schemes vs the ball scheme",
-		"family", "n", "scheme", "greedy_diam", "mean_steps", "ci95")
-	fits := report.NewTable("E9: fitted scaling exponents",
-		"family", "scheme", "exponent", "R2")
-
-	families := []familyBuilder{
-		{name: "path", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil }},
-		{name: "grid", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) {
-			side := intSqrt(n)
-			return gen.Grid2D(side, side), nil
-		}},
-	}
-	schemes := []augment.Scheme{
-		augment.NewHarmonicScheme(1),
-		augment.NewHarmonicScheme(2),
-		augment.NewBallScheme(),
-	}
-
-	for _, fam := range families {
-		for _, scheme := range schemes {
-			rng := xrand.New(cfg.Seed ^ hashString(fam.name+scheme.Name()))
-			var xs, ys []float64
-			for _, n := range sizes {
-				g, err := fam.build(n, rng)
-				if err != nil {
-					return nil, err
-				}
-				est, err := sim.EstimateGreedyDiameter(g, scheme, cfg.simConfig(6, 4))
-				if err != nil {
-					return nil, fmt.Errorf("E9: %s/%s n=%d: %w", fam.name, scheme.Name(), n, err)
-				}
-				detail.AddRow(fam.name, g.N(), scheme.Name(), est.GreedyDiameter, est.MeanSteps, est.CI95)
-				xs = append(xs, float64(g.N()))
-				ys = append(ys, est.GreedyDiameter)
-			}
-			fit, err := stats.PowerLaw(xs, ys)
-			if err != nil {
-				return nil, err
-			}
-			fits.AddRow(fam.name, scheme.Name(), fit.Exponent, fit.R2)
-		}
-	}
-	fits.AddNote("Kleinberg [13]: harmonic-r1 matches the path's dimension and harmonic-r2 the grid's; the " +
-		"mismatch is dramatic on the path (harmonic-r2 degrades to a clearly polynomial exponent) and milder " +
-		"on the grid at these sizes, while the ball scheme stays below ~0.5 everywhere without any tuning")
-	return []*report.Table{detail, fits}, nil
+		DetailTitle: "E9: harmonic schemes vs the ball scheme",
+		FitTitle:    "E9: fitted scaling exponents",
+		FitNote: "Kleinberg [13]: harmonic-r1 matches the path's dimension and harmonic-r2 the grid's; the " +
+			"mismatch is dramatic on the path (harmonic-r2 degrades to a clearly polynomial exponent) and milder " +
+			"on the grid at these sizes, while the ball scheme stays below ~0.5 everywhere without any tuning",
+	}.Spec()
 }

@@ -1,154 +1,97 @@
-// Package experiments contains one runnable experiment per claim of the
-// paper (see DESIGN.md §3 and EXPERIMENTS.md).  The paper is purely
-// theoretical — it has no tables or figures — so every theorem and corollary
-// is turned into a measurable sweep whose *shape* (scaling exponent, who
-// wins, where the crossover falls) can be compared against the stated
-// bounds.
+// Package experiments defines one scenario spec per claim of the paper
+// (see EXPERIMENTS.md, which is generated from this registry via
+// `navsim list -format md`).  The paper is purely theoretical — it has no
+// tables or figures — so every theorem and corollary is turned into a
+// measurable sweep whose *shape* (scaling exponent, who wins, where the
+// crossover falls) can be compared against the stated bounds.
 //
-// Each experiment produces report.Tables; the navsim CLI renders them and
-// the top-level benchmark harness runs them under `go test -bench`.
+// The specs are declarative (internal/scenario): each experiment names the
+// graph instances and schemes it measures and how to tabulate them, while
+// the scenario runner shares graph builds, distance fields, and prepared
+// schemes across all experiments of a run and executes their cells
+// concurrently.  The navsim CLI renders the resulting tables and the
+// top-level benchmark harness runs them under `go test -bench`.
 package experiments
 
 import (
-	"fmt"
-	"sort"
-
 	"navaug/internal/augment"
+	"navaug/internal/decomp"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
-	"navaug/internal/report"
-	"navaug/internal/sim"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
-// Config controls how heavy an experiment run is.
-type Config struct {
-	// Seed drives every random choice; equal seeds give equal tables.
-	Seed uint64
-	// Workers is the simulation worker pool size (0 = GOMAXPROCS).
-	Workers int
-	// Scale multiplies the default sweep sizes; 1.0 reproduces the numbers
-	// recorded in EXPERIMENTS.md, smaller values give quicker smoke runs.
-	Scale float64
-	// Pairs and Trials override the per-experiment defaults when positive.
-	Pairs  int
-	Trials int
-}
+// Config is the scenario run configuration (seed, scale, precision,
+// parallelism); equal configs give equal tables.
+type Config = scenario.Config
 
 // DefaultConfig is the configuration used for EXPERIMENTS.md.
-func DefaultConfig() Config {
-	return Config{Seed: 20070610, Scale: 1.0}
-}
+func DefaultConfig() Config { return scenario.DefaultConfig() }
 
-func (c Config) withDefaults() Config {
-	if c.Scale <= 0 {
-		c.Scale = 1.0
-	}
-	if c.Seed == 0 {
-		c.Seed = DefaultConfig().Seed
-	}
-	return c
-}
-
-// scaleSizes multiplies the base sweep sizes by the config scale, keeping
-// them at least 64 and strictly increasing.
-func (c Config) scaleSizes(base ...int) []int {
-	c = c.withDefaults()
-	out := make([]int, 0, len(base))
-	for _, n := range base {
-		v := int(float64(n) * c.Scale)
-		if v < 64 {
-			v = 64
-		}
-		if len(out) == 0 || v > out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// simConfig builds the Monte Carlo configuration for one estimation run.
-func (c Config) simConfig(pairs, trials int) sim.Config {
-	c = c.withDefaults()
-	if c.Pairs > 0 {
-		pairs = c.Pairs
-	}
-	if c.Trials > 0 {
-		trials = c.Trials
-	}
-	return sim.Config{
-		Pairs:               pairs,
-		Trials:              trials,
-		Seed:                c.Seed,
-		Workers:             c.Workers,
-		IncludeExtremalPair: true,
+func init() {
+	for _, s := range []scenario.Spec{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10()} {
+		scenario.Register(s)
 	}
 }
 
-// Experiment couples an identifier with a runnable reproduction.
-type Experiment struct {
-	// ID is the short identifier used by the CLI and benchmarks (e.g. "E7").
-	ID string
-	// Title is a one-line description.
-	Title string
-	// Claim states the paper result being reproduced and the expected shape.
-	Claim string
-	// Run executes the experiment.
-	Run func(cfg Config) ([]*report.Table, error)
-}
-
-// All returns every experiment in order E1..E10.
-func All() []Experiment {
-	return []Experiment{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(),
-	}
-}
+// All returns every experiment spec in order E1..E10.
+func All() []scenario.Spec { return scenario.All() }
 
 // ByID returns the experiment with the given (case-sensitive) identifier.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
-}
+func ByID(id string) (scenario.Spec, bool) { return scenario.ByID(id) }
 
 // IDs returns the sorted experiment identifiers.
-func IDs() []string {
-	var ids []string
-	for _, e := range All() {
-		ids = append(ids, e.ID)
-	}
-	sort.Strings(ids)
-	return ids
-}
-
-// familyBuilder produces graphs of a named family at a requested size.  The
-// actual size may differ slightly from the request (grids round to the
-// nearest rectangle); builders always return connected graphs.
-type familyBuilder struct {
-	name  string
-	build func(n int, rng *xrand.RNG) (*graph.Graph, error)
-}
+func IDs() []string { return scenario.IDs() }
 
 // standardFamilies returns the graph families shared by E1/E7/E8: the ones
-// the paper's universal claims must hold on.
-func standardFamilies() []familyBuilder {
-	return []familyBuilder{
-		{name: "path", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil }},
-		{name: "cycle", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Cycle(n), nil }},
-		{name: "grid", build: func(n int, _ *xrand.RNG) (*graph.Graph, error) {
+// the paper's universal claims must hold on.  Family names are cache
+// identities in the scenario runner — experiments that use the same names
+// and sizes measure the very same graph instances.
+func standardFamilies() []scenario.Family {
+	return []scenario.Family{
+		scenario.GraphFamily("path", func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil }),
+		scenario.GraphFamily("cycle", func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Cycle(n), nil }),
+		scenario.GraphFamily("grid", func(n int, _ *xrand.RNG) (*graph.Graph, error) {
 			side := intSqrt(n)
 			return gen.Grid2D(side, side), nil
-		}},
-		{name: "random-tree", build: func(n int, rng *xrand.RNG) (*graph.Graph, error) {
+		}),
+		scenario.GraphFamily("random-tree", func(n int, rng *xrand.RNG) (*graph.Graph, error) {
 			return gen.RandomTree(n, rng), nil
-		}},
-		{name: "gnp", build: func(n int, rng *xrand.RNG) (*graph.Graph, error) {
+		}),
+		scenario.GraphFamily("gnp", func(n int, rng *xrand.RNG) (*graph.Graph, error) {
 			return gen.ConnectedGNP(n, 3.0/float64(n), rng), nil
-		}},
+		}),
 	}
+}
+
+// uniformScheme and ballScheme are the two universal schemes referenced all
+// over the suite; sharing the refs (and their keys) across experiments is
+// what lets the runner prepare each of them once per graph instance.
+func uniformScheme() scenario.SchemeRef { return scenario.Scheme(augment.NewUniformScheme()) }
+
+func ballScheme() scenario.SchemeRef { return scenario.Scheme(augment.NewBallScheme()) }
+
+// theorem2TreeScheme is the (M, L) scheme wired to the centroid
+// decomposition, the construction Corollary 1 relies on for trees.  The
+// cache key distinguishes the decomposition even though both variants
+// report as "theorem2".
+func theorem2TreeScheme() scenario.SchemeRef {
+	return scenario.SchemeRef{Key: "theorem2-tree", New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+		return augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+			return decomp.TreeCentroid(g)
+		}), nil
+	}}
+}
+
+// theorem2BFSScheme is the (M, L) scheme wired to the generic BFS-layer
+// decomposition used on graphs with no special structure.
+func theorem2BFSScheme() scenario.SchemeRef {
+	return scenario.SchemeRef{Key: "theorem2-bfs", New: func(*scenario.BuiltGraph) (augment.Scheme, error) {
+		return augment.NewTheorem2Scheme(func(g *graph.Graph) (*decomp.PathDecomposition, error) {
+			return decomp.BFSLayers(g, 0)
+		}), nil
+	}}
 }
 
 func intSqrt(n int) int {
@@ -157,40 +100,4 @@ func intSqrt(n int) int {
 		s++
 	}
 	return s
-}
-
-// runFamilySweep estimates the greedy diameter of one scheme over a size
-// sweep of one family and appends rows to the table.  It returns the
-// (n, greedyDiameter) points for exponent fitting.
-func runFamilySweep(t *report.Table, fam familyBuilder, sizes []int, scheme augment.Scheme,
-	cfg Config, pairs, trials int, extraCols func(n int, est *sim.Estimate) []any) ([]float64, []float64, error) {
-
-	c := cfg.withDefaults()
-	rng := xrand.New(c.Seed ^ hashString(fam.name))
-	build := func(n int) (*graph.Graph, error) { return fam.build(n, rng) }
-	results, err := sim.Sweep(sizes, build, scheme, c.simConfig(pairs, trials))
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s/%s: %w", fam.name, scheme.Name(), err)
-	}
-	var xs, ys []float64
-	for _, r := range results {
-		xs = append(xs, float64(r.N))
-		ys = append(ys, r.Estimate.GreedyDiameter)
-		row := []any{fam.name, r.N, scheme.Name(), r.Estimate.GreedyDiameter, r.Estimate.MeanSteps, r.Estimate.CI95}
-		if extraCols != nil {
-			row = append(row, extraCols(r.N, r.Estimate)...)
-		}
-		t.AddRow(row...)
-	}
-	return xs, ys, nil
-}
-
-// hashString produces a stable 64-bit hash for deriving per-family seeds.
-func hashString(s string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }

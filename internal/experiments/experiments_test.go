@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"navaug/internal/report"
+	"navaug/internal/scenario"
 	"navaug/internal/xrand"
 )
 
@@ -16,6 +17,18 @@ func smokeConfig() Config {
 	return Config{Seed: 1, Scale: 0.02, Pairs: 2, Trials: 1}
 }
 
+// runSpec executes one spec on a fresh runner.
+func runSpec(t *testing.T, spec scenario.Spec, cfg Config) []*report.Table {
+	t.Helper()
+	runner := scenario.NewRunner(cfg)
+	defer runner.Close()
+	tables, err := runner.RunSpec(spec)
+	if err != nil {
+		t.Fatalf("%s failed: %v", spec.ID, err)
+	}
+	return tables
+}
+
 func TestRegistryComplete(t *testing.T) {
 	all := All()
 	if len(all) != 10 {
@@ -23,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
-		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.CellsFn == nil || e.RenderFn == nil {
 			t.Fatalf("experiment %q incomplete", e.ID)
 		}
 		if seen[e.ID] {
@@ -46,50 +59,14 @@ func TestByID(t *testing.T) {
 	}
 }
 
-func TestConfigHelpers(t *testing.T) {
-	c := Config{}.withDefaults()
-	if c.Scale != 1.0 || c.Seed == 0 {
-		t.Fatalf("defaults %+v", c)
-	}
-	sizes := Config{Scale: 0.01}.scaleSizes(1000, 2000, 4000)
-	if len(sizes) == 0 {
-		t.Fatal("no sizes")
-	}
-	for i, n := range sizes {
-		if n < 64 {
-			t.Fatalf("size %d below floor", n)
-		}
-		if i > 0 && sizes[i] <= sizes[i-1] {
-			t.Fatal("sizes not strictly increasing")
-		}
-	}
-	sc := Config{Pairs: 3, Trials: 2}.simConfig(10, 10)
-	if sc.Pairs != 3 || sc.Trials != 2 {
-		t.Fatalf("overrides not applied: %+v", sc)
-	}
-	sc2 := Config{}.simConfig(10, 7)
-	if sc2.Pairs != 10 || sc2.Trials != 7 {
-		t.Fatalf("defaults not applied: %+v", sc2)
-	}
-}
-
-func TestHashStringStable(t *testing.T) {
-	if hashString("path") != hashString("path") {
-		t.Fatal("hash unstable")
-	}
-	if hashString("path") == hashString("grid") {
-		t.Fatal("distinct strings collide (unlucky but fix the seed)")
-	}
-}
-
 func TestStandardFamiliesConnected(t *testing.T) {
 	for _, fam := range standardFamilies() {
-		g, err := fam.build(200, xrand.New(hashString(fam.name)))
+		bg, err := fam.Build(200, xrand.New(scenario.Hash64(fam.Name)))
 		if err != nil {
-			t.Fatalf("%s: %v", fam.name, err)
+			t.Fatalf("%s: %v", fam.Name, err)
 		}
-		if !g.IsConnected() {
-			t.Fatalf("%s: disconnected", fam.name)
+		if !bg.G.IsConnected() {
+			t.Fatalf("%s: disconnected", fam.Name)
 		}
 	}
 }
@@ -97,36 +74,44 @@ func TestStandardFamiliesConnected(t *testing.T) {
 // Every experiment must run end to end at smoke scale and produce at least
 // one non-empty table whose rows match the declared column count.
 func TestAllExperimentsSmoke(t *testing.T) {
-	for _, e := range All() {
-		e := e
-		t.Run(e.ID, func(t *testing.T) {
-			t.Parallel()
-			tables, err := e.Run(smokeConfig())
-			if err != nil {
-				t.Fatalf("%s failed: %v", e.ID, err)
+	runner := scenario.NewRunner(smokeConfig())
+	defer runner.Close()
+	results := runner.RunAll(All())
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s failed: %v", res.Spec.ID, res.Err)
+		}
+		if len(res.Tables) == 0 {
+			t.Fatalf("%s produced no tables", res.Spec.ID)
+		}
+		for _, tbl := range res.Tables {
+			if tbl.Title == "" {
+				t.Fatalf("%s produced an untitled table", res.Spec.ID)
 			}
-			if len(tables) == 0 {
-				t.Fatalf("%s produced no tables", e.ID)
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced empty table %q", res.Spec.ID, tbl.Title)
 			}
-			for _, tbl := range tables {
-				if tbl.Title == "" {
-					t.Fatalf("%s produced an untitled table", e.ID)
-				}
-				if len(tbl.Rows) == 0 {
-					t.Fatalf("%s produced empty table %q", e.ID, tbl.Title)
-				}
-				for _, row := range tbl.Rows {
-					if len(row) != len(tbl.Columns) {
-						t.Fatalf("%s table %q row has %d cells for %d columns",
-							e.ID, tbl.Title, len(row), len(tbl.Columns))
-					}
-				}
-				var buf bytes.Buffer
-				if err := tbl.Render(&buf, "text"); err != nil {
-					t.Fatalf("%s render: %v", e.ID, err)
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s table %q row has %d cells for %d columns",
+						res.Spec.ID, tbl.Title, len(row), len(tbl.Columns))
 				}
 			}
-		})
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf, "text"); err != nil {
+				t.Fatalf("%s render: %v", res.Spec.ID, err)
+			}
+		}
+	}
+	// The whole point of the shared runner: the suite references far fewer
+	// distinct graph instances than it has cells, and the ones it shares
+	// (standard families at standard sizes) must be built exactly once.
+	stats := runner.Stats()
+	if stats.GraphsBuilt >= stats.GraphLookups {
+		t.Fatalf("no graph sharing happened: built %d of %d lookups", stats.GraphsBuilt, stats.GraphLookups)
+	}
+	if stats.Prepares >= stats.InstLookups {
+		t.Fatalf("no prepared-scheme sharing happened: %d prepares for %d lookups", stats.Prepares, stats.InstLookups)
 	}
 }
 
@@ -136,10 +121,7 @@ func TestE1ExponentShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling check skipped in -short mode")
 	}
-	tables, err := E1().Run(Config{Seed: 7, Scale: 0.25, Pairs: 8, Trials: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tables := runSpec(t, E1(), Config{Seed: 7, Scale: 0.25, Pairs: 8, Trials: 4})
 	fit := tables[1]
 	found := false
 	for _, row := range fit.Rows {
@@ -147,7 +129,7 @@ func TestE1ExponentShape(t *testing.T) {
 			continue
 		}
 		found = true
-		exp := mustFloat(t, row[1])
+		exp := mustFloat(t, row[2])
 		if exp < 0.3 || exp > 0.75 {
 			t.Fatalf("uniform-on-path exponent %v outside the √n band", exp)
 		}
@@ -163,10 +145,7 @@ func TestE7BallBeatsUniformExponent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling check skipped in -short mode")
 	}
-	tables, err := E7().Run(Config{Seed: 7, Scale: 0.25, Pairs: 6, Trials: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tables := runSpec(t, E7(), Config{Seed: 7, Scale: 0.25, Pairs: 6, Trials: 3})
 	fit := tables[1]
 	var ballExp, uniExp float64
 	var haveBall, haveUni bool
@@ -201,10 +180,7 @@ func mustFloat(t *testing.T, s string) float64 {
 }
 
 func TestTablesAreRenderableInAllFormats(t *testing.T) {
-	tables, err := E2().Run(smokeConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tables := runSpec(t, E2(), smokeConfig())
 	for _, format := range []string{"text", "csv", "markdown"} {
 		var buf bytes.Buffer
 		for _, tbl := range tables {

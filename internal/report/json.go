@@ -1,0 +1,82 @@
+// JSON rendering: a whole run — manifest plus per-experiment tables — as one
+// machine-readable document.
+//
+// Determinism contract: the JSON produced for a given (seed, scale,
+// precision, pairs/trials overrides, experiment selection) is byte
+// identical on every run, at any worker or parallelism setting.  That is
+// why the Manifest records only result-determining configuration — worker
+// counts and scenario parallelism affect wall-clock, never results, and
+// deliberately stay out of the document.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatVersion identifies the JSON document layout.
+const FormatVersion = 1
+
+// Manifest records the result-determining configuration of a run.
+type Manifest struct {
+	Tool           string   `json:"tool"`
+	FormatVersion  int      `json:"format_version"`
+	Seed           uint64   `json:"seed"`
+	Scale          float64  `json:"scale"`
+	Precision      float64  `json:"precision,omitempty"`
+	PairsOverride  int      `json:"pairs_override,omitempty"`
+	TrialsOverride int      `json:"trials_override,omitempty"`
+	MaxTrials      int      `json:"max_trials,omitempty"`
+	Experiments    []string `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's identity and tables.
+type ExperimentResult struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Claim  string   `json:"claim"`
+	Error  string   `json:"error,omitempty"`
+	Tables []*Table `json:"tables,omitempty"`
+}
+
+// Report is a whole run: the manifest plus every experiment's tables.
+type Report struct {
+	Manifest    Manifest           `json:"manifest"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(r)
+}
+
+// Render writes the report in the requested format: "json" emits the whole
+// document; the table formats ("text", "csv", "markdown"/"md") emit each
+// experiment's header followed by its tables.
+func (r *Report) Render(w io.Writer, format string) error {
+	if strings.ToLower(format) == "json" {
+		return r.WriteJSON(w)
+	}
+	for _, e := range r.Experiments {
+		if e.Error != "" {
+			return fmt.Errorf("%s: %s", e.ID, e.Error)
+		}
+		if _, err := fmt.Fprintf(w, "\n#### %s — %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim); err != nil {
+			return err
+		}
+		for _, t := range e.Tables {
+			if err := t.Render(w, format); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureReport exercises the corners of serialisation: float formatting,
+// cells needing CSV quoting, notes, an experiment error, and every manifest
+// field.
+func fixtureReport() *Report {
+	t1 := NewTable("E0: sweep", "family", "n", "scheme", "greedy_diam", "ci95", "label")
+	t1.AddRow("path", 1024, "uniform", 31.62277, 0.4567, `quoted "cell"`)
+	t1.AddRow("grid, 2d", 4096, "ball", 16.0, 0.0, "comma, separated")
+	t1.AddRow("cycle", 999999, "none", 12345.678, 1e-9, "plain")
+	t1.AddNote("note with unicode ≈ and a %d verb", 42)
+	t1.AddNote("second note")
+	t2 := NewTable("E0: fits", "family", "exponent", "R2")
+	t2.AddRow("path", 0.5012, 0.9987)
+	return &Report{
+		Manifest: Manifest{
+			Tool:           "navsim",
+			FormatVersion:  FormatVersion,
+			Seed:           20070610,
+			Scale:          0.25,
+			Precision:      0.1,
+			PairsOverride:  8,
+			TrialsOverride: 4,
+			MaxTrials:      64,
+			Experiments:    []string{"E0", "EBAD"},
+		},
+		Experiments: []ExperimentResult{
+			{ID: "E0", Title: "fixture experiment", Claim: "fixtures stay stable", Tables: []*Table{t1, t2}},
+			{ID: "EBAD", Title: "failing experiment", Claim: "errors are recorded", Error: "boom: graph exploded"},
+		},
+	}
+}
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/report -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestReportJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The document must be valid JSON with the manifest fields intact before
+	// it is compared byte-for-byte.
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if decoded.Manifest.Seed != 20070610 || decoded.Manifest.Scale != 0.25 || decoded.Manifest.Tool != "navsim" {
+		t.Fatalf("manifest did not round-trip: %+v", decoded.Manifest)
+	}
+	if len(decoded.Experiments) != 2 || decoded.Experiments[1].Error == "" {
+		t.Fatalf("experiments did not round-trip: %+v", decoded.Experiments)
+	}
+	goldenCompare(t, "report.json.golden", buf.Bytes())
+}
+
+func TestTableCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, tbl := range fixtureReport().Experiments[0].Tables {
+		if err := tbl.RenderCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenCompare(t, "tables.csv.golden", buf.Bytes())
+}
+
+func TestReportRenderDispatch(t *testing.T) {
+	rep := &Report{
+		Manifest:    Manifest{Tool: "navsim", FormatVersion: FormatVersion, Seed: 1, Scale: 1, Experiments: []string{"E0"}},
+		Experiments: []ExperimentResult{fixtureReport().Experiments[0]},
+	}
+	for _, format := range []string{"json", "text", "csv", "md"} {
+		var buf bytes.Buffer
+		if err := rep.Render(&buf, format); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %s produced nothing", format)
+		}
+	}
+	// A report carrying an experiment error renders fine as JSON but must
+	// refuse the table formats (there is nothing honest to print).
+	bad := fixtureReport()
+	var buf bytes.Buffer
+	if err := bad.Render(&buf, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Render(&buf, "text"); err == nil {
+		t.Fatal("error-carrying report rendered as text without complaint")
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fixtureReport().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("JSON serialisation is not deterministic")
+	}
+}

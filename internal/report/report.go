@@ -10,12 +10,14 @@ import (
 	"strings"
 )
 
-// Table is a titled grid of string cells with named columns.
+// Table is a titled grid of string cells with named columns.  Cells are
+// stored as already-formatted strings, which is also what keeps the JSON
+// rendering byte-stable: no float formatting happens at serialisation time.
 type Table struct {
-	Title   string
-	Notes   []string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Notes   []string   `json:"notes,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column names.

@@ -1,0 +1,353 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"navaug/internal/augment"
+	"navaug/internal/dist"
+	"navaug/internal/report"
+	"navaug/internal/sim"
+	"navaug/internal/xrand"
+)
+
+// Runner executes scenarios on one persistent sim.Engine, building each
+// graph, its distance-field cache, and each prepared scheme instance exactly
+// once and sharing them across every cell — of any scenario — that measures
+// the same instance.  Cells run concurrently (bounded by Config.Parallel);
+// artefacts are released as soon as the last cell referencing them
+// completes, so a full-suite run never pins more graphs than the scenarios
+// still in flight need.
+type Runner struct {
+	cfg    Config
+	engine *sim.Engine
+
+	graphs sync.Map // graph key -> *graphEntry
+	insts  sync.Map // instance key -> *instEntry
+
+	refMu     sync.Mutex
+	graphRefs map[string]int
+	instRefs  map[string]int
+
+	progressMu sync.Mutex
+	start      time.Time
+
+	stats struct {
+		graphsBuilt  atomic.Int64
+		graphLookups atomic.Int64
+		prepares     atomic.Int64
+		instLookups  atomic.Int64
+		cells        atomic.Int64
+		trials       atomic.Int64
+	}
+}
+
+// RunStats summarises the sharing a run achieved: how often a cell needed a
+// graph or prepared scheme versus how often one actually had to be built.
+type RunStats struct {
+	GraphsBuilt  int64
+	GraphLookups int64
+	Prepares     int64
+	InstLookups  int64
+	Cells        int64
+	Trials       int64
+}
+
+type graphEntry struct {
+	once   sync.Once
+	bg     *BuiltGraph
+	fields *dist.FieldCache
+	err    error
+}
+
+type instEntry struct {
+	once sync.Once
+	inst augment.Instance
+	name string
+	err  error
+}
+
+// NewRunner creates a runner (and its engine) for one configuration.
+// Callers should Close it to release the worker pool.
+func NewRunner(cfg Config) *Runner {
+	cfg = cfg.WithDefaults()
+	return &Runner{
+		cfg:       cfg,
+		engine:    sim.NewEngine(cfg.Workers),
+		graphRefs: make(map[string]int),
+		instRefs:  make(map[string]int),
+		start:     time.Now(),
+	}
+}
+
+// Close shuts the runner's engine down.
+func (r *Runner) Close() { r.engine.Close() }
+
+// Config returns the runner's (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Engine exposes the underlying engine for ad-hoc estimations that want to
+// share the pool.
+func (r *Runner) Engine() *sim.Engine { return r.engine }
+
+// Stats returns the sharing counters accumulated so far.
+func (r *Runner) Stats() RunStats {
+	return RunStats{
+		GraphsBuilt:  r.stats.graphsBuilt.Load(),
+		GraphLookups: r.stats.graphLookups.Load(),
+		Prepares:     r.stats.prepares.Load(),
+		InstLookups:  r.stats.instLookups.Load(),
+		Cells:        r.stats.cells.Load(),
+		Trials:       r.stats.trials.Load(),
+	}
+}
+
+// SpecResult is the outcome of one spec in a run.
+type SpecResult struct {
+	Spec   Spec
+	Tables []*report.Table
+	Err    error
+}
+
+// RunSpec executes a single spec.
+func (r *Runner) RunSpec(spec Spec) ([]*report.Table, error) {
+	res := r.RunAll([]Spec{spec})
+	return res[0].Tables, res[0].Err
+}
+
+// RunAll executes the given specs, interleaving their cells on the shared
+// engine, and returns per-spec results in the given order.  A failing spec
+// reports its error without aborting the others.
+func (r *Runner) RunAll(specs []Spec) []SpecResult {
+	out := make([]SpecResult, len(specs))
+	cells := make([][]Cell, len(specs))
+	total := 0
+	for i, spec := range specs {
+		out[i].Spec = spec
+		cs, err := spec.Cells(r.cfg)
+		if err != nil {
+			out[i].Err = fmt.Errorf("%s: enumerating cells: %w", spec.ID, err)
+			continue
+		}
+		cells[i] = cs
+		total += len(cs)
+		r.retain(cs)
+	}
+
+	parallel := r.cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, parallel)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := range specs {
+		if out[i].Err != nil || cells[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].Tables, out[i].Err = r.runSpecCells(specs[i], cells[i], sem, &done, total)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// runSpecCells measures one spec's cells concurrently and renders them.
+func (r *Runner) runSpecCells(spec Spec, cs []Cell, sem chan struct{}, done *atomic.Int64, total int) ([]*report.Table, error) {
+	results := make([]CellResult, len(cs))
+	errs := make([]error, len(cs))
+	var wg sync.WaitGroup
+	for idx := range cs {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cellStart := time.Now()
+			est, err := r.runCell(cs[idx])
+			r.release(cs[idx])
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			results[idx] = CellResult{Cell: cs[idx], Est: est}
+			r.progress(spec.ID, done.Add(1), int64(total), cs[idx], est, time.Since(cellStart))
+		}(idx)
+	}
+	wg.Wait()
+	// Report the first error in cell order so failures are deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+	}
+	return spec.Render(r.cfg, results)
+}
+
+// runCell resolves the cell's graph and prepared scheme through the shared
+// caches and runs the estimation on the engine.
+func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
+	gkey := graphKey(cell.Graph)
+	bg, fields, err := r.builtGraph(gkey, cell.Graph)
+	if err != nil {
+		return nil, err
+	}
+	inst, name, err := r.prepared(gkey, cell, bg)
+	if err != nil {
+		return nil, err
+	}
+	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", cell.Graph.Family, cell.Scheme.Key, err)
+	}
+	r.stats.cells.Add(1)
+	r.stats.trials.Add(int64(est.Samples))
+	return est, nil
+}
+
+// cellSimConfig resolves the effective sampling budget of a cell: the cell's
+// base pairs/trials, the Config overrides, and the precision target.  In
+// adaptive mode the first batch is half the base trials (the target decides
+// where between that floor and MaxTrials a pair actually stops).
+func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache) sim.Config {
+	pairs, trials := cell.Pairs, cell.Trials
+	if r.cfg.Pairs > 0 {
+		pairs = r.cfg.Pairs
+	}
+	if r.cfg.Trials > 0 {
+		trials = r.cfg.Trials
+	}
+	if trials <= 0 {
+		trials = 8
+	}
+	c := sim.Config{
+		Pairs:               pairs,
+		Trials:              trials,
+		Seed:                r.cfg.Seed ^ hash64(gkey),
+		FixedPairs:          cell.FixedPairs,
+		IncludeExtremalPair: true,
+		DistFields:          fields,
+	}
+	target := r.cfg.Precision
+	if target == 0 {
+		target = cell.Precision
+	}
+	if target > 0 {
+		c.TargetCI = target
+		c.Trials = (trials + 1) / 2
+		if c.Trials < 2 {
+			c.Trials = 2
+		}
+		c.MaxTrials = r.cfg.MaxTrials
+		if c.MaxTrials <= 0 {
+			c.MaxTrials = 8 * trials
+		}
+	}
+	return c
+}
+
+func graphKey(ref GraphRef) string {
+	return ref.Family + "#" + strconv.Itoa(ref.N)
+}
+
+func instKey(gkey string, ref SchemeRef) string {
+	return gkey + "|" + ref.Key
+}
+
+// builtGraph returns the shared graph instance for a ref, building it at
+// most once per run.  The builder RNG is derived from (seed, family, n)
+// only, so the instance is identical no matter which cell arrives first.
+func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.FieldCache, error) {
+	r.stats.graphLookups.Add(1)
+	v, _ := r.graphs.LoadOrStore(gkey, &graphEntry{})
+	e := v.(*graphEntry)
+	e.once.Do(func() {
+		r.stats.graphsBuilt.Add(1)
+		rng := xrand.New(r.cfg.Seed ^ hash64(ref.Family) ^ (uint64(ref.N)+1)*0x9e3779b97f4a7c15)
+		bg, err := ref.Build(ref.N, rng)
+		if err != nil {
+			e.err = fmt.Errorf("building %s n=%d: %w", ref.Family, ref.N, err)
+			return
+		}
+		e.bg = bg
+		// Bounded per-graph cache: pair sets are seeded per graph, so the
+		// same handful of targets recurs across every scheme and scenario
+		// measuring this instance.
+		e.fields = dist.NewFieldCache(bg.G, 64)
+	})
+	return e.bg, e.fields, e.err
+}
+
+// prepared returns the shared prepared instance for (graph, scheme),
+// preparing it at most once per run.
+func (r *Runner) prepared(gkey string, cell Cell, bg *BuiltGraph) (augment.Instance, string, error) {
+	r.stats.instLookups.Add(1)
+	v, _ := r.insts.LoadOrStore(instKey(gkey, cell.Scheme), &instEntry{})
+	e := v.(*instEntry)
+	e.once.Do(func() {
+		r.stats.prepares.Add(1)
+		scheme, err := cell.Scheme.New(bg)
+		if err != nil {
+			e.err = fmt.Errorf("constructing scheme %s on %s: %w", cell.Scheme.Key, gkey, err)
+			return
+		}
+		inst, err := scheme.Prepare(bg.G)
+		if err != nil {
+			e.err = fmt.Errorf("preparing scheme %s on %s: %w", scheme.Name(), gkey, err)
+			return
+		}
+		e.inst = inst
+		e.name = scheme.Name()
+	})
+	return e.inst, e.name, e.err
+}
+
+// retain records that each of the given cells will need its graph and
+// prepared instance, so release can evict artefacts as soon as the last
+// referencing cell finishes.
+func (r *Runner) retain(cs []Cell) {
+	r.refMu.Lock()
+	defer r.refMu.Unlock()
+	for _, c := range cs {
+		gk := graphKey(c.Graph)
+		r.graphRefs[gk]++
+		r.instRefs[instKey(gk, c.Scheme)]++
+	}
+}
+
+// release drops one reference from a finished cell and evicts cache entries
+// nobody else will use, keeping a long multi-scenario run's memory bounded
+// by the scenarios still in flight.
+func (r *Runner) release(c Cell) {
+	r.refMu.Lock()
+	defer r.refMu.Unlock()
+	gk := graphKey(c.Graph)
+	ik := instKey(gk, c.Scheme)
+	if r.instRefs[ik]--; r.instRefs[ik] <= 0 {
+		delete(r.instRefs, ik)
+		r.insts.Delete(ik)
+	}
+	if r.graphRefs[gk]--; r.graphRefs[gk] <= 0 {
+		delete(r.graphRefs, gk)
+		r.graphs.Delete(gk)
+	}
+}
+
+// progress emits one line per completed cell to the configured writer.
+func (r *Runner) progress(specID string, done, total int64, cell Cell, est *sim.Estimate, took time.Duration) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	fmt.Fprintf(r.cfg.Progress, "[%3d/%d %6.1fs] %s %s n=%d %s: gd=%.1f trials=%d in %.1fs\n",
+		done, total, time.Since(r.start).Seconds(), specID,
+		cell.Graph.Family, est.N, est.Scheme, est.GreedyDiameter, est.Samples, took.Seconds())
+}

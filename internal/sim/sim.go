@@ -1,21 +1,23 @@
 // Package sim is the Monte Carlo engine that estimates greedy diameters of
 // augmented graphs.  It samples source/target pairs, redraws the
 // augmentation several times per pair, routes greedily, and aggregates the
-// step counts into an Estimate.  Work is spread over a worker pool; results
-// are deterministic for a fixed Config.Seed regardless of the number of
-// workers because every (pair, trial) block derives its RNG stream from the
-// seed and the pair index alone.
+// step counts into an Estimate.
+//
+// The workhorse is the persistent Engine (see engine.go): a reusable worker
+// pool that serves many estimations — fixed-budget or streaming/adaptive —
+// and can be shared by concurrently-running scenarios.  The free functions
+// in this file are convenience wrappers that spin up a transient engine for
+// one-shot callers; results are identical either way because every (pair,
+// trial) block derives its RNG stream from the seed and the pair index
+// alone, never from worker scheduling.
 package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"navaug/internal/augment"
 	"navaug/internal/dist"
 	"navaug/internal/graph"
-	"navaug/internal/route"
 	"navaug/internal/stats"
 	"navaug/internal/xrand"
 )
@@ -31,11 +33,14 @@ type Config struct {
 	// When FixedPairs is non-empty it is ignored.
 	Pairs int
 	// Trials is the number of independent augmentation draws (and routings)
-	// per pair (default 8).
+	// per pair (default 8).  In adaptive mode (TargetCI > 0) it is the size
+	// of the first batch and the minimum per-pair budget.
 	Trials int
 	// Seed drives all sampling; runs with equal seeds produce equal results.
 	Seed uint64
-	// Workers is the worker pool size (default GOMAXPROCS).
+	// Workers is the worker pool size used by the transient-engine wrappers
+	// (default GOMAXPROCS).  Engine methods ignore it — the engine owns its
+	// pool.  The worker count never affects results.
 	Workers int
 	// MaxSteps caps a single routing walk (default: route's own default).
 	MaxSteps int
@@ -50,11 +55,19 @@ type Config struct {
 	Lookahead bool
 	// DistFields, when non-nil, supplies the per-target distance fields
 	// greedy routing steers by.  It must be a cache over the same graph.
-	// When nil a private cache is created per estimation run; CompareSchemes
-	// shares one cache across its schemes (same graph, same pairs), so each
-	// target's BFS is paid once rather than once per scheme.  Fields are
+	// When nil a private cache is created per estimation run; the scenario
+	// runner and CompareSchemes share one cache per graph, so each target's
+	// BFS is paid once rather than once per scheme.  Fields are
 	// deterministic, so sharing never affects results.
 	DistFields *dist.FieldCache
+	// TargetCI, when positive, switches the run to streaming adaptive
+	// estimation: each pair keeps running deterministic trial batches until
+	// the 95% CI half-width of its mean step count is at most
+	// TargetCI·max(1, mean), or the pair has spent MaxTrials trials.
+	TargetCI float64
+	// MaxTrials caps the per-pair budget in adaptive mode
+	// (default 32·Trials).  Ignored in fixed-budget mode.
+	MaxTrials int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,9 +76,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Trials <= 0 {
 		c.Trials = 8
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -79,13 +89,13 @@ type PairStats struct {
 	Failed        int // trials that hit the step cap (should be zero)
 }
 
-// Estimate is the outcome of EstimateGreedyDiameter.
+// Estimate is the outcome of a greedy-diameter estimation.
 type Estimate struct {
 	Scheme    string
 	GraphName string
 	N, M      int
 	PairStats []PairStats
-	// MeanSteps is the grand mean over every routed trial.
+	// MeanSteps is the grand mean over per-pair means.
 	MeanSteps float64
 	// GreedyDiameter is the Monte Carlo estimate of diam(G, φ): the maximum
 	// over sampled pairs of the per-pair mean number of steps.
@@ -94,94 +104,20 @@ type Estimate struct {
 	CI95 float64
 	// MeanLongLinks is the average number of long-range hops per route.
 	MeanLongLinks float64
-	// Samples is the total number of routed trials.
+	// Samples is the total number of routed trials across all pairs.
 	Samples int
+	// Adaptive records whether the streaming adaptive schedule was used,
+	// and TargetCI the relative CI target it ran against.
+	Adaptive bool
+	TargetCI float64
 }
 
 // EstimateGreedyDiameter runs the Monte Carlo estimation of the greedy
-// diameter of g under the given scheme.
+// diameter of g under the given scheme on a transient engine.
 func EstimateGreedyDiameter(g *graph.Graph, scheme augment.Scheme, cfg Config) (*Estimate, error) {
-	cfg = cfg.withDefaults()
-	n := g.N()
-	if n < 2 {
-		return nil, fmt.Errorf("sim: graph must have at least 2 nodes, got %d", n)
-	}
-	inst, err := scheme.Prepare(g)
-	if err != nil {
-		return nil, fmt.Errorf("sim: preparing scheme %s: %w", scheme.Name(), err)
-	}
-	pairs, err := selectPairs(g, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.DistFields == nil {
-		// A private per-run cache: bounded near the worker count because each
-		// pair fetches its field once and holds it for all trials, so keeping
-		// more than the concurrently-active fields would only pin memory.
-		cfg.DistFields = dist.NewFieldCache(g, cfg.Workers+1)
-	} else if cfg.DistFields.Graph() != g {
-		return nil, fmt.Errorf("sim: Config.DistFields was built over a different graph")
-	}
-
-	results := make([]PairStats, len(pairs))
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	var errOnce sync.Once
-	var firstErr error
-	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
-
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One trial scratch per worker, reused across every pair and
-			// trial this worker routes: no per-trial allocation.
-			scratch := route.NewScratch(n)
-			for idx := range tasks {
-				ps, err := runPair(g, inst, pairs[idx], idx, cfg, scratch)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				results[idx] = ps
-			}
-		}()
-	}
-	for idx := range pairs {
-		tasks <- idx
-	}
-	close(tasks)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	est := &Estimate{
-		Scheme:    scheme.Name(),
-		GraphName: g.Name(),
-		N:         n,
-		M:         g.M(),
-		PairStats: results,
-	}
-	pairMeans := make([]float64, 0, len(results))
-	var longLinks float64
-	for _, ps := range results {
-		if ps.Steps.Mean > est.GreedyDiameter {
-			est.GreedyDiameter = ps.Steps.Mean
-		}
-		longLinks += ps.MeanLongLinks * float64(ps.Steps.Count)
-		pairMeans = append(pairMeans, ps.Steps.Mean)
-	}
-	// The grand mean and its CI are computed over per-pair means (every pair
-	// runs the same number of trials, so the weighting is uniform).
-	grand := stats.NewSummary(pairMeans)
-	est.MeanSteps = grand.Mean
-	est.CI95 = grand.CI95()
-	est.Samples = len(pairs) * cfg.Trials
-	if est.Samples > 0 {
-		est.MeanLongLinks = longLinks / float64(est.Samples)
-	}
-	return est, nil
+	e := NewEngine(cfg.Workers)
+	defer e.Close()
+	return e.Estimate(g, scheme, cfg)
 }
 
 // selectPairs picks the source/target pairs for an estimation run.
@@ -222,54 +158,19 @@ func selectPairs(g *graph.Graph, cfg Config) ([]Pair, error) {
 	return pairs, nil
 }
 
-// runPair executes all trials of one pair, routing through the calling
-// worker's reusable scratch.
-func runPair(g *graph.Graph, inst augment.Instance, p Pair, pairIdx int, cfg Config, scratch *route.Scratch) (PairStats, error) {
-	distToTarget := cfg.DistFields.Field(p.Target)
-	if distToTarget[p.Source] == graph.Unreachable {
-		return PairStats{}, fmt.Errorf("sim: pair (%d,%d) is disconnected", p.Source, p.Target)
-	}
-	// Deterministic per-pair stream: independent of worker scheduling.
-	rng := xrand.New(cfg.Seed + 0x9e3779b97f4a7c15*uint64(pairIdx+1))
-	steps := make([]float64, 0, cfg.Trials)
-	longLinks := 0.0
-	failed := 0
-	opts := route.Options{MaxSteps: cfg.MaxSteps, Scratch: scratch}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		var res route.Result
-		var err error
-		if cfg.Lookahead {
-			res, err = route.GreedyWithLookahead(g, inst, p.Source, p.Target, distToTarget, rng, opts)
-		} else {
-			res, err = route.Greedy(g, inst, p.Source, p.Target, distToTarget, rng, opts)
-		}
-		if err != nil {
-			return PairStats{}, err
-		}
-		if !res.Reached {
-			failed++
-			continue
-		}
-		steps = append(steps, float64(res.Steps))
-		longLinks += float64(res.LongLinksUsed)
-	}
-	ps := PairStats{Pair: p, Dist: distToTarget[p.Source], Steps: stats.NewSummary(steps), Failed: failed}
-	if len(steps) > 0 {
-		ps.MeanLongLinks = longLinks / float64(len(steps))
-	}
-	return ps, nil
-}
-
 // CompareSchemes estimates the greedy diameter of g under each scheme with
 // the same configuration (and therefore the same sampled pairs), returning
-// estimates in the order the schemes were given.
+// estimates in the order the schemes were given.  One engine and one
+// distance-field cache are shared across the schemes.
 func CompareSchemes(g *graph.Graph, schemes []augment.Scheme, cfg Config) ([]*Estimate, error) {
+	e := NewEngine(cfg.Workers)
+	defer e.Close()
 	if cfg.DistFields == nil {
 		cfg.DistFields = dist.NewFieldCache(g, 0)
 	}
 	out := make([]*Estimate, 0, len(schemes))
 	for _, s := range schemes {
-		est, err := EstimateGreedyDiameter(g, s, cfg)
+		est, err := e.Estimate(g, s, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: scheme %s: %w", s.Name(), err)
 		}
@@ -288,6 +189,8 @@ type SweepResult struct {
 // produced by build for each size.  The per-size seeds are derived from
 // cfg.Seed so the whole sweep is reproducible.
 func Sweep(sizes []int, build func(n int) (*graph.Graph, error), scheme augment.Scheme, cfg Config) ([]SweepResult, error) {
+	e := NewEngine(cfg.Workers)
+	defer e.Close()
 	out := make([]SweepResult, 0, len(sizes))
 	for i, n := range sizes {
 		g, err := build(n)
@@ -299,7 +202,7 @@ func Sweep(sizes []int, build func(n int) (*graph.Graph, error), scheme augment.
 		// Every size is a different graph, so a caller-supplied field cache
 		// must not leak across sizes; each estimation builds its own.
 		c.DistFields = nil
-		est, err := EstimateGreedyDiameter(g, scheme, c)
+		est, err := e.Estimate(g, scheme, c)
 		if err != nil {
 			return nil, fmt.Errorf("sim: n=%d: %w", n, err)
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"navaug/internal/augment"
@@ -268,7 +269,141 @@ func TestLookaheadConfigRuns(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.Pairs != 16 || c.Trials != 8 || c.Workers < 1 {
+	if c.Pairs != 16 || c.Trials != 8 {
 		t.Fatalf("defaults %+v", c)
+	}
+}
+
+func TestEngineReuseAcrossEstimations(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	cfg := Config{Pairs: 4, Trials: 2, Seed: 9, IncludeExtremalPair: true}
+	small, err := e.Estimate(gen.Path(100), augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := e.Estimate(gen.Grid2D(12, 12), augment.NewBallScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := EstimateGreedyDiameter(gen.Path(100), augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MeanSteps != oneShot.MeanSteps || small.GreedyDiameter != oneShot.GreedyDiameter {
+		t.Fatalf("engine reuse changed results: %v vs %v", small.MeanSteps, oneShot.MeanSteps)
+	}
+	if big.N != 144 {
+		t.Fatalf("second estimation on reused engine broken: %+v", big)
+	}
+}
+
+func TestEngineConcurrentEstimations(t *testing.T) {
+	// One pool, several concurrent estimations (the scenario-runner shape):
+	// results must match the serial ones exactly.
+	e := NewEngine(3)
+	defer e.Close()
+	cfg := Config{Pairs: 5, Trials: 3, Seed: 77, IncludeExtremalPair: true}
+	graphs := []*graph.Graph{gen.Path(300), gen.Cycle(300), gen.Grid2D(17, 17)}
+	want := make([]*Estimate, len(graphs))
+	for i, g := range graphs {
+		est, err := e.Estimate(g, augment.NewUniformScheme(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = est
+	}
+	got := make([]*Estimate, len(graphs))
+	errs := make([]error, len(graphs))
+	var wg sync.WaitGroup
+	for i, g := range graphs {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			got[i], errs[i] = e.Estimate(g, augment.NewUniformScheme(), cfg)
+		}(i, g)
+	}
+	wg.Wait()
+	for i := range graphs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i].MeanSteps != want[i].MeanSteps || got[i].GreedyDiameter != want[i].GreedyDiameter {
+			t.Fatalf("concurrent estimation %d diverged: %v vs %v", i, got[i].MeanSteps, want[i].MeanSteps)
+		}
+	}
+}
+
+func TestAdaptiveStopsEarlyOnZeroVariance(t *testing.T) {
+	// Without augmentation every trial of a pair takes exactly dist(s,t)
+	// steps, so the CI collapses after the first batch and the adaptive
+	// schedule must stop at the base budget instead of the cap.
+	g := gen.Path(200)
+	cfg := Config{
+		FixedPairs: []Pair{{Source: 0, Target: 199}, {Source: 10, Target: 60}},
+		Trials:     3,
+		MaxTrials:  96,
+		TargetCI:   0.05,
+		Seed:       1,
+	}
+	est, err := EstimateGreedyDiameter(g, augment.NewNoAugmentation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Adaptive || est.TargetCI != 0.05 {
+		t.Fatalf("adaptive metadata missing: %+v", est)
+	}
+	if est.Samples != 6 {
+		t.Fatalf("zero-variance pairs should stop at 2 pairs x 3 trials, spent %d", est.Samples)
+	}
+	if est.GreedyDiameter != 199 {
+		t.Fatalf("greedy diameter %v, want 199", est.GreedyDiameter)
+	}
+}
+
+func TestAdaptiveSpendsMoreOnNoisyPairs(t *testing.T) {
+	g := gen.Cycle(2000)
+	base := Config{Pairs: 6, Trials: 4, Seed: 3, IncludeExtremalPair: true}
+	fixed, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := base
+	tight.TargetCI = 0.05
+	tight.MaxTrials = 256
+	adaptive, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Samples <= fixed.Samples {
+		t.Fatalf("tight CI target should need more trials than the %d fixed ones, got %d",
+			fixed.Samples, adaptive.Samples)
+	}
+	for _, ps := range adaptive.PairStats {
+		ci := ps.Steps.CI95()
+		if ps.Steps.Count < 256 && ci > 0.05*math.Max(1, ps.Steps.Mean)+1e-9 {
+			t.Fatalf("pair %+v stopped at %d trials with CI %v above target", ps.Pair, ps.Steps.Count, ci)
+		}
+	}
+}
+
+func TestAdaptiveDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	base := Config{Pairs: 6, Trials: 3, Seed: 99, IncludeExtremalPair: true, TargetCI: 0.1, MaxTrials: 48}
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg7 := base
+	cfg7.Workers = 7
+	e1, err := EstimateGreedyDiameter(g, augment.NewBallScheme(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e7, err := EstimateGreedyDiameter(g, augment.NewBallScheme(), cfg7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.MeanSteps != e7.MeanSteps || e1.GreedyDiameter != e7.GreedyDiameter || e1.Samples != e7.Samples {
+		t.Fatalf("adaptive results depend on worker count: %v/%d vs %v/%d",
+			e1.MeanSteps, e1.Samples, e7.MeanSteps, e7.Samples)
 	}
 }
