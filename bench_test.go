@@ -281,7 +281,67 @@ func BenchmarkRoutingTrial_harmonic(b *testing.B) {
 		b.Fatal(err)
 	}
 	s, t, _ := dist.ExtremalPair(g)
-	d := g.BFS(t)
+	// Hold the field as a dist.Source so interface boxing happens once, as
+	// the engine does per pair, keeping the trial itself allocation-free.
+	var d dist.Source = dist.NewField(g.BFS(t), t)
+	scratch := route.NewScratch(g.N())
+	rng := xrand.New(3)
+	opts := route.Options{Scratch: scratch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := route.Greedy(g, inst, s, t, d, rng, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reached {
+			b.Fatal("trial hit the step cap")
+		}
+	}
+}
+
+// BenchmarkRoutingTrial_analyticSource routes the same trial shape through
+// an analytic dist.Source (closed-form torus metric, O(1) memory per
+// query) instead of a BFS field — the large-n hot path of E11.  Compare
+// with BenchmarkRoutingTrial_fieldSource to see the interface-call
+// overhead the O(1)-memory path trades for never materialising a field.
+func BenchmarkRoutingTrial_analyticSource(b *testing.B) {
+	g := gen.Torus2D(64, 64)
+	metric := gen.Torus2DMetric(64, 64)
+	inst, err := augment.NewAnalyticBall(metric).Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, t, _ := dist.ExtremalPair(g)
+	scratch := route.NewScratch(g.N())
+	rng := xrand.New(3)
+	opts := route.Options{Scratch: scratch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := route.Greedy(g, inst, s, t, metric, rng, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reached {
+			b.Fatal("trial hit the step cap")
+		}
+	}
+}
+
+// BenchmarkRoutingTrial_fieldSource is the same trial against the wrapped
+// BFS field, isolating the Source-vs-slice cost on identical routes.
+func BenchmarkRoutingTrial_fieldSource(b *testing.B) {
+	g := gen.Torus2D(64, 64)
+	metric := gen.Torus2DMetric(64, 64)
+	inst, err := augment.NewAnalyticBall(metric).Prepare(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, t, _ := dist.ExtremalPair(g)
+	// Hold the field as a dist.Source so interface boxing happens once, as
+	// the engine does per pair, keeping the trial itself allocation-free.
+	var d dist.Source = dist.NewField(g.BFS(t), t)
 	scratch := route.NewScratch(g.N())
 	rng := xrand.New(3)
 	opts := route.Options{Scratch: scratch}

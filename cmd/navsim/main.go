@@ -1,5 +1,7 @@
-// Command navsim runs the paper-reproduction experiments (E1..E10) and
-// ad-hoc greedy-diameter estimations through the scenario engine.
+// Command navsim runs the paper-reproduction experiments (E1..E11,
+// including the E11 large-n mode that sweeps million-node tori and
+// hypercubes through analytic O(1) distance oracles) and ad-hoc
+// greedy-diameter estimations through the scenario engine.
 //
 // Usage:
 //
@@ -8,11 +10,14 @@
 //	    what EXPERIMENTS.md is generated from.
 //
 //	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json]
-//	           [-precision 0.1] [-workers N] [-parallel N] [-quiet]
+//	           [-precision 0.1] [-workers N] [-parallel N] [-no-analytic] [-quiet]
 //	    Run the selected experiments (default: all) on one shared scenario
 //	    runner and print the report.  -precision enables streaming adaptive
 //	    estimation; -workers/-parallel only change wall-clock, never results.
-//	    Progress goes to stderr, the report to stdout.
+//	    -no-analytic forces BFS-field-backed distances even on families with
+//	    closed-form metrics (results are identical; used by the CI
+//	    determinism cross-check).  Progress goes to stderr, the report to
+//	    stdout.
 //
 //	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6]
 //	           [-precision 0.1] [-seed N]
@@ -67,7 +72,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   navsim list [-format text|md]
   navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json] [-precision 0.1]
-             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N] [-quiet]
+             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N] [-no-analytic] [-quiet]
   navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1] [-seed N] [-workers N]
   navsim exact -family path -n 400 -scheme uniform [-seed N]`)
 }
@@ -111,6 +116,7 @@ func runExperiments(args []string) error {
 	trials := fs.Int("trials", 0, "override augmentation redraws per pair")
 	precision := fs.Float64("precision", 0, "adaptive mode: target 95% CI half-width relative to the mean (0 = fixed budgets)")
 	maxTrials := fs.Int("max-trials", 0, "adaptive mode: per-pair trial cap (0 = 8x the base budget)")
+	noAnalytic := fs.Bool("no-analytic", false, "force BFS-field-backed distances even on families with closed-form metrics (identical results; cross-check knob)")
 	quiet := fs.Bool("quiet", false, "suppress the per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,14 +128,15 @@ func runExperiments(args []string) error {
 		return fmt.Errorf("unknown format %q (known: text, csv, md, json)", *format)
 	}
 	cfg := scenario.Config{
-		Seed:      *seed,
-		Scale:     *scale,
-		Workers:   *workers,
-		Parallel:  *parallel,
-		Pairs:     *pairs,
-		Trials:    *trials,
-		Precision: *precision,
-		MaxTrials: *maxTrials,
+		Seed:       *seed,
+		Scale:      *scale,
+		Workers:    *workers,
+		Parallel:   *parallel,
+		Pairs:      *pairs,
+		Trials:     *trials,
+		Precision:  *precision,
+		MaxTrials:  *maxTrials,
+		NoAnalytic: *noAnalytic,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

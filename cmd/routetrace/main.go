@@ -61,12 +61,13 @@ func run(family string, n int, schemeName string, src, dst int, seed uint64, loo
 	if distToTarget[s] == graph.Unreachable {
 		return fmt.Errorf("target %d unreachable from source %d", t, s)
 	}
+	field := dist.NewField(distToTarget, t)
 	rng := xrand.New(seed)
 	var res route.Result
 	if lookahead {
-		res, err = route.GreedyWithLookahead(g, inst, s, t, distToTarget, rng, route.Options{Trace: true})
+		res, err = route.GreedyWithLookahead(g, inst, s, t, field, rng, route.Options{Trace: true})
 	} else {
-		res, err = route.Greedy(g, inst, s, t, distToTarget, rng, route.Options{Trace: true})
+		res, err = route.Greedy(g, inst, s, t, field, rng, route.Options{Trace: true})
 	}
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"log"
 
 	"navaug/internal/augment"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/route"
@@ -58,8 +59,8 @@ func main() {
 		total := 0
 		worst := 0
 		for i, l := range letters {
-			distToTarget := g.BFS(l.to)
-			res, err := route.Greedy(g, inst, l.from, l.to, distToTarget, xrand.New(uint64(i)+7), route.Options{})
+			src := dist.NewField(g.BFS(l.to), l.to)
+			res, err := route.Greedy(g, inst, l.from, l.to, src, xrand.New(uint64(i)+7), route.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,236 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/sampler"
+	"navaug/internal/xrand"
+)
+
+// This file implements analytic contact samplers: for schemes whose contact
+// law depends only on the distance to the contact (harmonic, ball), a
+// vertex-transitive analytic metric (dist.Transitive, implemented in
+// internal/graph/gen for cycles, tori, hypercubes and complete graphs)
+// lets a draw factor as
+//
+//	draw a distance d from the profile-weighted law, then a uniform
+//	node at distance exactly d,
+//
+// which costs O(eccentricity) preprocessing once and O(1)-ish per draw —
+// no BFS, no O(n) enumeration, no per-node tables.  The sampled law is
+// exactly the generic scheme's (the equality is tested against
+// ContactDistribution of the generic instances), so these are drop-in
+// replacements that make the schemes usable at n >= 10^6.
+
+// AnalyticHarmonicScheme is the distance-harmonic scheme (see
+// HarmonicScheme) drawn through a vertex-transitive analytic metric:
+// Pr(u→v) ∝ dist(u,v)^-Exponent, sampled as one alias draw over distances
+// followed by one uniform sphere sample.
+type AnalyticHarmonicScheme struct {
+	// Exponent is the decay exponent r in Pr(u→v) ∝ dist(u,v)^-r.
+	Exponent float64
+	// Metric is the vertex-transitive analytic metric of the graph the
+	// scheme will be prepared on.
+	Metric dist.Transitive
+}
+
+// NewAnalyticHarmonic returns the harmonic scheme with exponent r sampling
+// through the vertex-transitive metric t.
+func NewAnalyticHarmonic(r float64, t dist.Transitive) *AnalyticHarmonicScheme {
+	return &AnalyticHarmonicScheme{Exponent: r, Metric: t}
+}
+
+// Name implements Scheme.  The sampled law is identical to the generic
+// harmonic scheme's, so it reports under the same name.
+func (s *AnalyticHarmonicScheme) Name() string { return fmt.Sprintf("harmonic-r%g", s.Exponent) }
+
+// Prepare implements Scheme: one alias table over the distance profile
+// weighted by d^-r, built in O(eccentricity).
+func (s *AnalyticHarmonicScheme) Prepare(g *graph.Graph) (Instance, error) {
+	if s.Metric == nil {
+		return nil, fmt.Errorf("augment: analytic harmonic scheme needs a metric")
+	}
+	if s.Metric.N() != g.N() {
+		return nil, fmt.Errorf("augment: analytic metric covers %d nodes, graph has %d", s.Metric.N(), g.N())
+	}
+	if s.Exponent < 0 || math.IsNaN(s.Exponent) {
+		return nil, fmt.Errorf("augment: harmonic exponent must be >= 0, got %g", s.Exponent)
+	}
+	ecc := s.Metric.Eccentricity()
+	if ecc < 1 {
+		return nil, fmt.Errorf("augment: analytic harmonic scheme needs a graph of diameter >= 1")
+	}
+	// weights[d] = |sphere(d)|·d^-r for d = 1..ecc (index 0 stays 0: a node
+	// never draws itself under the harmonic law).
+	weights := make([]float64, ecc+1)
+	for d := int32(1); d <= ecc; d++ {
+		weights[d] = s.Metric.SphereSize(d) * math.Pow(float64(d), -s.Exponent)
+	}
+	alias, err := sampler.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("augment: analytic harmonic alias table: %w", err)
+	}
+	return &analyticHarmonicInstance{metric: s.Metric, exponent: s.Exponent, dists: alias, weights: weights}, nil
+}
+
+type analyticHarmonicInstance struct {
+	metric   dist.Transitive
+	exponent float64
+	dists    sampler.Alias
+	weights  []float64
+}
+
+// Contact implements Instance: one O(1) alias draw of the distance, one
+// uniform sphere sample.
+func (h *analyticHarmonicInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	d := h.dists.Draw(rng)
+	return h.metric.SampleAtDistance(u, d, rng)
+}
+
+// ContactDistribution implements Distributional: φ_u(v) = d(u,v)^-r / Z,
+// the same law the generic harmonic scheme reports.
+func (h *analyticHarmonicInstance) ContactDistribution(u graph.NodeID) []float64 {
+	n := h.metric.N()
+	out := make([]float64, n)
+	total := 0.0
+	for _, w := range h.weights {
+		total += w
+	}
+	if total == 0 {
+		out[u] = 1
+		return out
+	}
+	for v := 0; v < n; v++ {
+		if graph.NodeID(v) == u {
+			continue
+		}
+		d := h.metric.Dist(u, graph.NodeID(v))
+		out[v] = math.Pow(float64(d), -h.exponent) / total
+	}
+	return out
+}
+
+// AnalyticBallScheme is the paper's Theorem 4 ball scheme (see BallScheme)
+// drawn through a vertex-transitive analytic metric: a uniform scale
+// k ∈ {1..⌈log n⌉}, then a uniform node of the ball B(u, 2^k) — sampled as
+// one per-scale alias draw over distances followed by one uniform sphere
+// sample, instead of enumerating the ball.
+type AnalyticBallScheme struct {
+	// Metric is the vertex-transitive analytic metric of the graph the
+	// scheme will be prepared on.
+	Metric dist.Transitive
+}
+
+// NewAnalyticBall returns the Theorem 4 scheme sampling through the
+// vertex-transitive metric t.
+func NewAnalyticBall(t dist.Transitive) *AnalyticBallScheme {
+	return &AnalyticBallScheme{Metric: t}
+}
+
+// Name implements Scheme.  The sampled law is identical to the generic
+// ball scheme's, so it reports under the same name.
+func (s *AnalyticBallScheme) Name() string { return "ball" }
+
+// Prepare implements Scheme: one alias table per scale over the distance
+// profile truncated at the scale's radius (the ball always contains u
+// itself at distance 0, whose draw means "no link", exactly like the
+// generic sampling process).
+func (s *AnalyticBallScheme) Prepare(g *graph.Graph) (Instance, error) {
+	if s.Metric == nil {
+		return nil, fmt.Errorf("augment: analytic ball scheme needs a metric")
+	}
+	n := g.N()
+	if s.Metric.N() != n {
+		return nil, fmt.Errorf("augment: analytic metric covers %d nodes, graph has %d", s.Metric.N(), n)
+	}
+	maxScale := dist.CeilLog2(n)
+	if maxScale < 1 {
+		maxScale = 1
+	}
+	ecc := s.Metric.Eccentricity()
+	inst := &analyticBallInstance{
+		metric:    s.Metric,
+		maxScale:  maxScale,
+		perScale:  make([]sampler.Alias, maxScale+1),
+		ballSizes: make([]float64, maxScale+1),
+	}
+	weights := make([]float64, ecc+1)
+	for k := 1; k <= maxScale; k++ {
+		radius := scaleRadius32(k, n)
+		if radius > ecc {
+			radius = ecc
+		}
+		size := 0.0
+		for d := int32(0); d <= radius; d++ {
+			weights[d] = s.Metric.SphereSize(d)
+			size += weights[d]
+		}
+		alias, err := sampler.NewAlias(weights[:radius+1])
+		if err != nil {
+			return nil, fmt.Errorf("augment: analytic ball alias table (scale %d): %w", k, err)
+		}
+		inst.perScale[k] = alias
+		inst.ballSizes[k] = size
+	}
+	return inst, nil
+}
+
+// scaleRadius32 mirrors ballInstance.scaleRadius: 2^k with n standing in
+// when the shift would overflow.
+func scaleRadius32(k, n int) int32 {
+	if k < 31 {
+		return int32(1) << uint(k)
+	}
+	return int32(n)
+}
+
+type analyticBallInstance struct {
+	metric   dist.Transitive
+	maxScale int
+	// perScale[k] samples a distance d with probability |sphere(d)|/|B_k|
+	// for d within scale k's radius; index 0 is unused.
+	perScale []sampler.Alias
+	// ballSizes[k] = |B(u, 2^k)| (node-independent by vertex-transitivity).
+	ballSizes []float64
+}
+
+// Contact implements Instance: uniform scale, O(1) alias draw of the
+// distance within the ball, uniform sphere sample.  Distance 0 draws u
+// itself — "no link" — with probability 1/|B_k|, exactly as enumerating
+// the ball would.
+func (b *analyticBallInstance) Contact(u graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	k := 1 + rng.Intn(b.maxScale)
+	d := b.perScale[k].Draw(rng)
+	if d == 0 {
+		return u
+	}
+	return b.metric.SampleAtDistance(u, d, rng)
+}
+
+// ContactDistribution implements Distributional with the paper's formula
+// φ_u(v) = (1/⌈log n⌉)·Σ_{k ≥ r(v)} 1/|B_k(u)| (r(v) the smallest scale
+// whose ball contains v), matching the generic ball instance exactly.
+func (b *analyticBallInstance) ContactDistribution(u graph.NodeID) []float64 {
+	n := b.metric.N()
+	phi := make([]float64, n)
+	pScale := 1.0 / float64(b.maxScale)
+	ecc := b.metric.Eccentricity()
+	// perDist[d] = Σ over scales whose radius covers d of pScale/|B_k|.
+	perDist := make([]float64, ecc+1)
+	for k := 1; k <= b.maxScale; k++ {
+		radius := scaleRadius32(k, n)
+		if radius > ecc {
+			radius = ecc
+		}
+		for d := int32(0); d <= radius; d++ {
+			perDist[d] += pScale / b.ballSizes[k]
+		}
+	}
+	for v := 0; v < n; v++ {
+		phi[v] = perDist[b.metric.Dist(u, graph.NodeID(v))]
+	}
+	return phi
+}

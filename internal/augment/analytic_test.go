@@ -1,0 +1,151 @@
+package augment
+
+import (
+	"math"
+	"testing"
+
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+	"navaug/internal/xrand"
+)
+
+// transitiveFixtures are the vertex-transitive (graph, metric) pairs the
+// analytic samplers are checked on: odd/even cycles and torus dimensions,
+// a hypercube and a complete graph, covering every sphere-multiplicity
+// edge case.
+func transitiveFixtures() []struct {
+	name   string
+	g      *graph.Graph
+	metric dist.Transitive
+} {
+	return []struct {
+		name   string
+		g      *graph.Graph
+		metric dist.Transitive
+	}{
+		{"cycle-odd", gen.Cycle(33), gen.CycleMetric(33)},
+		{"cycle-even", gen.Cycle(32), gen.CycleMetric(32)},
+		{"torus", gen.Torus2D(5, 8), gen.Torus2DMetric(5, 8)},
+		{"hypercube", gen.Hypercube(5), gen.HypercubeMetric(5)},
+		{"complete", gen.Complete(13), gen.CompleteMetric(13)},
+	}
+}
+
+// TestAnalyticHarmonicMatchesGenericDistribution: the analytic harmonic
+// sampler's contact law must equal the generic (BFS-backed) harmonic
+// scheme's exactly, node by node.
+func TestAnalyticHarmonicMatchesGenericDistribution(t *testing.T) {
+	for _, fx := range transitiveFixtures() {
+		for _, r := range []float64{1, 2} {
+			generic, err := NewHarmonicScheme(r).Prepare(fx.g)
+			if err != nil {
+				t.Fatalf("%s: generic prepare: %v", fx.name, err)
+			}
+			analytic, err := NewAnalyticHarmonic(r, fx.metric).Prepare(fx.g)
+			if err != nil {
+				t.Fatalf("%s: analytic prepare: %v", fx.name, err)
+			}
+			assertSameDistribution(t, fx.name, fx.g.N(), generic.(Distributional), analytic.(Distributional))
+		}
+	}
+}
+
+// TestAnalyticBallMatchesGenericDistribution: same for the Theorem 4 ball
+// scheme, whose law mixes per-scale uniform balls (including the self
+// "no link" mass at distance 0).
+func TestAnalyticBallMatchesGenericDistribution(t *testing.T) {
+	for _, fx := range transitiveFixtures() {
+		generic, err := NewBallScheme().Prepare(fx.g)
+		if err != nil {
+			t.Fatalf("%s: generic prepare: %v", fx.name, err)
+		}
+		analytic, err := NewAnalyticBall(fx.metric).Prepare(fx.g)
+		if err != nil {
+			t.Fatalf("%s: analytic prepare: %v", fx.name, err)
+		}
+		assertSameDistribution(t, fx.name, fx.g.N(), generic.(Distributional), analytic.(Distributional))
+	}
+}
+
+func assertSameDistribution(t *testing.T, name string, n int, a, b Distributional) {
+	t.Helper()
+	for u := 0; u < n; u++ {
+		da := a.ContactDistribution(graph.NodeID(u))
+		db := b.ContactDistribution(graph.NodeID(u))
+		for v := 0; v < n; v++ {
+			if math.Abs(da[v]-db[v]) > 1e-9 {
+				t.Fatalf("%s: phi_%d(%d) generic=%g analytic=%g", name, u, v, da[v], db[v])
+			}
+		}
+	}
+}
+
+// TestAnalyticSamplersMatchTheirDistribution: the empirical frequency of
+// analytic Contact draws must converge to the reported distribution (total
+// variation check, mirroring the generic sampler-vs-distribution tests).
+func TestAnalyticSamplersMatchTheirDistribution(t *testing.T) {
+	rng := xrand.New(77)
+	for _, fx := range transitiveFixtures() {
+		schemes := []Scheme{
+			NewAnalyticHarmonic(2, fx.metric),
+			NewAnalyticBall(fx.metric),
+		}
+		for _, s := range schemes {
+			inst, err := s.Prepare(fx.g)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fx.name, s.Name(), err)
+			}
+			d := inst.(Distributional)
+			n := fx.g.N()
+			u := graph.NodeID(n / 2)
+			phi := d.ContactDistribution(u)
+			const samples = 60000
+			counts := make([]float64, n)
+			for i := 0; i < samples; i++ {
+				counts[inst.Contact(u, rng)]++
+			}
+			tv := 0.0
+			for v := 0; v < n; v++ {
+				tv += math.Abs(counts[v]/samples - phi[v])
+			}
+			tv /= 2
+			// TV distance between the empirical law of 60k draws and a
+			// distribution over <= 40 support points is ~O(sqrt(n/samples));
+			// 0.03 gives a wide margin while still catching a wrong sampler.
+			if tv > 0.03 {
+				t.Fatalf("%s/%s: total variation %g between sampled and reported distribution", fx.name, s.Name(), tv)
+			}
+		}
+	}
+}
+
+// TestAnalyticSchemesRouteAtMillionScale is the package-level witness of
+// the large-n contract: preparing an analytic scheme on a million-node
+// torus costs O(eccentricity), and a contact draw touches no O(n) state.
+func TestAnalyticSchemesRouteAtMillionScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node prepare is unnecessary under -short")
+	}
+	const side = 1000
+	g := gen.Torus2D(side, side) // 10^6 nodes
+	metric := gen.Torus2DMetric(side, side)
+	harm, err := NewAnalyticHarmonic(2, metric).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := NewAnalyticBall(metric).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(9)
+	for i := 0; i < 2000; i++ {
+		u := graph.NodeID(rng.Intn(side * side))
+		if v := harm.Contact(u, rng); metric.Dist(u, v) == 0 && u != v {
+			t.Fatal("harmonic drew an inconsistent contact")
+		}
+		if v := ball.Contact(u, rng); v < 0 || int(v) >= side*side {
+			t.Fatal("ball drew an out-of-range contact")
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
+	"navaug/internal/dist"
 	"navaug/internal/experiments"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
@@ -60,9 +61,9 @@ func (a *AugmentedGraph) Instance() augment.Instance { return a.inst }
 // Route runs one greedy routing trial from s to t with a fresh draw of the
 // long-range links along the way, returning the route result (with trace).
 func (a *AugmentedGraph) Route(s, t graph.NodeID, seed uint64) (route.Result, error) {
-	distToTarget := a.g.BFS(t)
+	src := dist.NewField(a.g.BFS(t), t)
 	rng := xrand.New(seed)
-	return route.Greedy(a.g, a.inst, s, t, distToTarget, rng, route.Options{Trace: true})
+	return route.Greedy(a.g, a.inst, s, t, src, rng, route.Options{Trace: true})
 }
 
 // EstimateGreedyDiameter estimates diam(G, φ) by Monte Carlo sampling.

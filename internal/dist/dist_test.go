@@ -346,3 +346,52 @@ func TestNewOracleSelection(t *testing.T) {
 		t.Fatalf("upper bound %d below exact distance 100", d)
 	}
 }
+
+// TestNewOracleNilRNGIsPinned: large graphs with a nil rng must select
+// landmarks from the pinned FixedOracleSeed, so repeated constructions
+// report identical distances (large-graph oracle selection is reproducibly
+// deterministic) and match an explicit rng carrying the same seed.
+func TestNewOracleNilRNGIsPinned(t *testing.T) {
+	if FixedOracleSeed != 1 {
+		t.Fatalf("FixedOracleSeed changed to %d; this silently changes every nil-rng landmark oracle", FixedOracleSeed)
+	}
+	g := gen.Cycle(apspMaxNodes + 100) // just past the exact-matrix tier
+	a := NewOracle(g, nil)
+	b := NewOracle(g, nil)
+	c := NewOracle(g, xrand.New(FixedOracleSeed))
+	if _, ok := a.(*LandmarkOracle); !ok {
+		t.Fatalf("expected the landmark tier above %d nodes, got %T", apspMaxNodes, a)
+	}
+	rng := xrand.New(3)
+	for trial := 0; trial < 2000; trial++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		v := graph.NodeID(rng.Intn(g.N()))
+		da, db, dc := a.Dist(u, v), b.Dist(u, v), c.Dist(u, v)
+		if da != db {
+			t.Fatalf("two nil-rng oracles disagree at (%d,%d): %d vs %d", u, v, da, db)
+		}
+		if da != dc {
+			t.Fatalf("nil-rng oracle disagrees with explicit FixedOracleSeed at (%d,%d): %d vs %d", u, v, da, dc)
+		}
+	}
+}
+
+// TestFieldSource: the BFS-field adapter must report the wrapped field's
+// values and its root.
+func TestFieldSource(t *testing.T) {
+	g := gen.Grid2D(7, 9)
+	tgt := graph.NodeID(17)
+	d := g.BFS(tgt)
+	f := NewField(d, tgt)
+	if f.Target() != tgt {
+		t.Fatalf("Target()=%d, want %d", f.Target(), tgt)
+	}
+	if f.Dist(tgt, tgt) != 0 {
+		t.Fatal("field not rooted at its target")
+	}
+	for u := 0; u < g.N(); u++ {
+		if f.Dist(graph.NodeID(u), tgt) != d[u] {
+			t.Fatalf("field source diverges from the wrapped slice at %d", u)
+		}
+	}
+}

@@ -1,4 +1,5 @@
-// Package experiments defines one scenario spec per claim of the paper
+// Package experiments defines one scenario spec per claim of the paper,
+// plus the E11 large-n mode built on analytic distance oracles
 // (see EXPERIMENTS.md, which is generated from this registry via
 // `navsim list -format md`).  The paper is purely theoretical — it has no
 // tables or figures — so every theorem and corollary is turned into a
@@ -30,12 +31,12 @@ type Config = scenario.Config
 func DefaultConfig() Config { return scenario.DefaultConfig() }
 
 func init() {
-	for _, s := range []scenario.Spec{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10()} {
+	for _, s := range []scenario.Spec{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11()} {
 		scenario.Register(s)
 	}
 }
 
-// All returns every experiment spec in order E1..E10.
+// All returns every experiment spec in order E1..E11.
 func All() []scenario.Spec { return scenario.All() }
 
 // ByID returns the experiment with the given (case-sensitive) identifier.

@@ -31,8 +31,8 @@ func runSpec(t *testing.T, spec scenario.Spec, cfg Config) []*report.Table {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -44,7 +44,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(IDs()) != 10 {
+	if len(IDs()) != 11 {
 		t.Fatal("IDs() length mismatch")
 	}
 }

@@ -16,6 +16,16 @@ import (
 //	graph <n> <m> [name]
 //	<u> <v>            (m edge lines)
 
+// MaxTextNodes and MaxTextEdges bound the sizes Read accepts.  The text
+// format exists for piping experiment graphs between the CLI tools; the
+// caps keep a hostile or corrupted header ("graph 99999999999 0") from
+// forcing a multi-gigabyte allocation — or overflowing the int32 node-id
+// space — before a single edge line has been seen.
+const (
+	MaxTextNodes = 1 << 24
+	MaxTextEdges = 1 << 26
+)
+
 // WriteTo serialises the graph in the text edge-list format.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -59,9 +69,15 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: bad node count %q", fields[1])
 			}
+			if n > MaxTextNodes {
+				return nil, fmt.Errorf("graph: node count %d exceeds the text-format cap %d", n, MaxTextNodes)
+			}
 			m, err := strconv.Atoi(fields[2])
 			if err != nil || m < 0 {
 				return nil, fmt.Errorf("graph: bad edge count %q", fields[2])
+			}
+			if m > MaxTextEdges {
+				return nil, fmt.Errorf("graph: edge count %d exceeds the text-format cap %d", m, MaxTextEdges)
 			}
 			want = m
 			b = NewBuilder(n)

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzGraphRead feeds arbitrary bytes to the text-format parser.  The
+// contract under fuzzing: Read never panics and never over-allocates
+// (malformed input, including hostile headers, yields an error), and any
+// input it does accept must round-trip — WriteTo followed by Read
+// reproduces the same node count, edge count, name and edge set.
+func FuzzGraphRead(f *testing.F) {
+	f.Add([]byte("graph 3 2 tiny\n0 1\n1 2\n"))
+	f.Add([]byte("graph 2 1\n0 1\n"))
+	f.Add([]byte("# comment\n\ngraph 4 3 with spaces in name\n0 1\n0 2\n0 3\n"))
+	f.Add([]byte("graph 1 0 lonely\n"))
+	f.Add([]byte("graph 3 2 dup\n0 1\n0 1\n")) // duplicate edges merge; count mismatch after merge
+	f.Add([]byte("graph 99999999999 0\n"))     // hostile node count
+	f.Add([]byte("graph 3 99999999999\n"))     // hostile edge count
+	f.Add([]byte("graph 3 1\n0 0\n"))          // self-loop
+	f.Add([]byte("graph 3 1\n0 7\n"))          // out of range
+	f.Add([]byte("graph -1 0\n"))
+	f.Add([]byte("graph 3 1\n0\n"))
+	f.Add([]byte("notaheader\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or hanging is not
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on accepted graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v\ninput: %q", err, data)
+		}
+		assertSameGraph(t, g, g2)
+	})
+}
+
+// FuzzGraphRoundTrip drives the writer side: it decodes the fuzz bytes
+// into an arbitrary (valid) edge list, builds the graph and asserts the
+// text format reproduces it exactly.
+func FuzzGraphRoundTrip(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(2), []byte{0, 1})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(31), []byte{30, 0, 7, 19, 3, 3, 5, 6})
+	f.Fuzz(func(t *testing.T, rawN uint8, edgeBytes []byte) {
+		n := int(rawN)
+		if n == 0 {
+			n = 1
+		}
+		b := NewBuilder(n).SetName("fuzz-roundtrip")
+		for i := 0; i+1 < len(edgeBytes); i += 2 {
+			u := NodeID(int(edgeBytes[i]) % n)
+			v := NodeID(int(edgeBytes[i+1]) % n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read of serialised graph: %v", err)
+		}
+		assertSameGraph(t, g, g2)
+	})
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d nodes/edges", a.N(), a.M(), b.N(), b.M())
+	}
+	// WriteTo normalises whitespace inside names (fields are re-joined with
+	// single spaces), so compare the normalised forms.
+	if got, want := strings.Join(strings.Fields(b.Name()), " "), strings.Join(strings.Fields(a.Name()), " "); got != want {
+		t.Fatalf("round trip changed name: %q -> %q", want, got)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("round trip changed edge %d: %v -> %v", i, ea[i], eb[i])
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // neighbour (local neighbours plus the node's own long-range contact) that
 // is closest to the target according to distances in the underlying graph.
 //
+// Distances to the target are read through a dist.Source — either an
+// analytic closed-form metric (structured families, O(1) per query with no
+// per-target state at all, which is what permits million-node graphs) or a
+// BFS distance field wrapped via dist.NewField (the exact fallback for
+// unstructured graphs).
+//
 // Long-range contacts are drawn lazily and memoised per trial so that each
 // node keeps one consistent contact while only paying for the nodes
 // actually visited.  The memo lives in a Scratch — a dense epoch-marked
@@ -14,6 +20,7 @@ import (
 	"fmt"
 
 	"navaug/internal/augment"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/sampler"
 	"navaug/internal/xrand"
@@ -71,20 +78,27 @@ type Options struct {
 	Scratch *Scratch
 }
 
-// validate checks the endpoints and distance field shared by both routing
+// validate checks the endpoints and distance source shared by both routing
 // variants, and resolves the trial scratch.
-func validate(g *graph.Graph, s, t graph.NodeID, distToTarget []int32, opts Options) (*Scratch, error) {
+func validate(g *graph.Graph, s, t graph.NodeID, src dist.Source, opts Options) (*Scratch, error) {
 	n := g.N()
 	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
 		return nil, fmt.Errorf("route: endpoints (%d,%d) out of range [0,%d)", s, t, n)
 	}
-	if len(distToTarget) != n {
-		return nil, fmt.Errorf("route: distance vector has length %d, want %d", len(distToTarget), n)
+	if src == nil {
+		return nil, fmt.Errorf("route: nil distance source")
 	}
-	if distToTarget[t] != 0 {
-		return nil, fmt.Errorf("route: distance vector is not rooted at target %d", t)
+	// Sources that know their node count (dist.Field, the analytic family
+	// metrics) are checked against the graph up front: a mis-sized source
+	// would otherwise index out of range (fields) or silently report wrong
+	// distances (metrics) mid-route.
+	if s, ok := src.(interface{ N() int }); ok && s.N() != n {
+		return nil, fmt.Errorf("route: distance source covers %d nodes, graph has %d", s.N(), n)
 	}
-	if distToTarget[s] == graph.Unreachable {
+	if src.Dist(t, t) != 0 {
+		return nil, fmt.Errorf("route: distance source is not rooted at target %d", t)
+	}
+	if src.Dist(s, t) == graph.Unreachable {
 		return nil, fmt.Errorf("route: target %d unreachable from source %d", t, s)
 	}
 	scratch := opts.Scratch
@@ -98,12 +112,13 @@ func validate(g *graph.Graph, s, t graph.NodeID, distToTarget []int32, opts Opti
 }
 
 // Greedy routes a message from s to t on graph g augmented by the given
-// instance, using distToTarget[v] = dist_G(v, t).  The rng drives the lazy
+// instance, steering by src.Dist(v, t) = dist_G(v, t) — an analytic metric
+// or a BFS field wrapped with dist.NewField.  The rng drives the lazy
 // long-range contact draws.  It returns an error for invalid endpoints, a
-// distance vector of the wrong length or with an unreachable source, or a
+// source not rooted at the target or with an unreachable source node, or a
 // mis-sized scratch.
-func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
-	scratch, err := validate(g, s, t, distToTarget, opts)
+func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, src dist.Source, rng *xrand.RNG, opts Options) (Result, error) {
+	scratch, err := validate(g, s, t, src, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -121,7 +136,7 @@ func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarg
 		if res.Steps >= maxSteps {
 			return res, nil // Reached stays false
 		}
-		next, viaLong := greedyStep(g, inst, scratch, cur, distToTarget, rng)
+		next, viaLong := greedyStep(g, inst, scratch, cur, t, src, rng)
 		if viaLong {
 			res.LongLinksUsed++
 		}
@@ -138,12 +153,12 @@ func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarg
 // greedyStep picks the neighbour of cur (including its long-range contact)
 // closest to the target; ties prefer local links and then lower node ids,
 // which keeps the process deterministic given the drawn contacts.
-func greedyStep(g *graph.Graph, inst augment.Instance, scratch *Scratch, cur graph.NodeID, distToTarget []int32, rng *xrand.RNG) (graph.NodeID, bool) {
+func greedyStep(g *graph.Graph, inst augment.Instance, scratch *Scratch, cur, t graph.NodeID, src dist.Source, rng *xrand.RNG) (graph.NodeID, bool) {
 	best := cur
-	bestDist := distToTarget[cur]
+	bestDist := src.Dist(cur, t)
 	viaLong := false
 	for _, v := range g.Neighbors(cur) {
-		d := distToTarget[v]
+		d := src.Dist(v, t)
 		if d == graph.Unreachable {
 			continue
 		}
@@ -154,7 +169,7 @@ func greedyStep(g *graph.Graph, inst augment.Instance, scratch *Scratch, cur gra
 		}
 	}
 	if c := scratch.contact(inst, cur, rng); c != cur {
-		d := distToTarget[c]
+		d := src.Dist(c, t)
 		if d != graph.Unreachable && d < bestDist {
 			best = c
 			bestDist = d
@@ -171,8 +186,8 @@ func greedyStep(g *graph.Graph, inst augment.Instance, scratch *Scratch, cur gra
 // is closest to the target when that beats every direct option.  The
 // traversal still advances one edge per step, so the step count remains
 // comparable with plain greedy routing.
-func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, distToTarget []int32, rng *xrand.RNG, opts Options) (Result, error) {
-	scratch, err := validate(g, s, t, distToTarget, opts)
+func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, src dist.Source, rng *xrand.RNG, opts Options) (Result, error) {
+	scratch, err := validate(g, s, t, src, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -190,17 +205,17 @@ func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeI
 			return res, nil
 		}
 		// Direct greedy candidate.
-		direct, viaLong := greedyStep(g, inst, scratch, cur, distToTarget, rng)
-		directDist := distToTarget[direct]
+		direct, viaLong := greedyStep(g, inst, scratch, cur, t, src, rng)
+		directDist := src.Dist(direct, t)
 		// Lookahead: neighbour whose own long-range contact is closest.
 		bestVia := graph.NodeID(-1)
 		bestViaDist := int32(-1)
 		for _, v := range g.Neighbors(cur) {
-			if distToTarget[v] == graph.Unreachable {
+			if src.Dist(v, t) == graph.Unreachable {
 				continue
 			}
 			c := scratch.contact(inst, v, rng)
-			d := distToTarget[c]
+			d := src.Dist(c, t)
 			if d == graph.Unreachable {
 				continue
 			}
@@ -214,7 +229,7 @@ func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeI
 		// Move towards the lookahead neighbour only when its contact is
 		// strictly better than anything reachable directly; the hop itself is
 		// a local link.
-		if bestVia != -1 && bestViaDist < directDist && bestViaDist < distToTarget[cur] {
+		if bestVia != -1 && bestViaDist < directDist && bestViaDist < src.Dist(cur, t) {
 			next = bestVia
 			nextViaLong = false
 		}

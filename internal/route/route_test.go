@@ -6,13 +6,14 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/decomp"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
 	"navaug/internal/xrand"
 )
 
-func distTo(g *graph.Graph, t graph.NodeID) []int32 {
-	return g.BFS(t)
+func distTo(g *graph.Graph, t graph.NodeID) dist.Field {
+	return dist.NewField(g.BFS(t), t)
 }
 
 func TestGreedyWithoutAugmentationFollowsShortestPath(t *testing.T) {
@@ -53,15 +54,23 @@ func TestGreedyValidatesInput(t *testing.T) {
 	g := gen.Path(10)
 	inst, _ := augment.NewUniformScheme().Prepare(g)
 	rng := xrand.New(3)
-	if _, err := Greedy(g, inst, 0, 20, make([]int32, 10), rng, Options{}); err == nil {
+	if _, err := Greedy(g, inst, 0, 20, distTo(g, 5), rng, Options{}); err == nil {
 		t.Fatal("out-of-range target accepted")
 	}
-	if _, err := Greedy(g, inst, 0, 5, make([]int32, 3), rng, Options{}); err == nil {
-		t.Fatal("short distance vector accepted")
+	if _, err := Greedy(g, inst, 0, 5, nil, rng, Options{}); err == nil {
+		t.Fatal("nil distance source accepted")
 	}
-	// distance vector rooted at the wrong node
-	if _, err := Greedy(g, inst, 0, 5, distTo(g, 6), rng, Options{}); err == nil {
-		t.Fatal("mis-rooted distance vector accepted")
+	// field built for a smaller graph must error, not index out of range
+	if _, err := Greedy(g, inst, 0, 5, dist.NewField(make([]int32, 3), 5), rng, Options{}); err == nil {
+		t.Fatal("short distance field accepted")
+	}
+	// metric of the wrong size must be rejected too
+	if _, err := Greedy(g, inst, 0, 5, gen.PathMetric(99), rng, Options{}); err == nil {
+		t.Fatal("mis-sized metric accepted")
+	}
+	// distance field rooted at the wrong node
+	if _, err := Greedy(g, inst, 0, 5, dist.NewField(g.BFS(6), 6), rng, Options{}); err == nil {
+		t.Fatal("mis-rooted distance source accepted")
 	}
 	// unreachable target
 	dg := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).Build()
@@ -88,7 +97,7 @@ func TestGreedyStepsNeverExceedDistanceWithoutAugmentation(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return res.Reached && res.Steps == int(d[s])
+		return res.Reached && res.Steps == int(d.Dist(s, tt))
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -123,8 +132,8 @@ func TestGreedyStepsBoundedByInitialDistance(t *testing.T) {
 			if !res.Reached {
 				t.Fatalf("%s: target not reached", s.Name())
 			}
-			if res.Steps > int(d[src]) {
-				t.Fatalf("%s: %d steps exceeds initial distance %d", s.Name(), res.Steps, d[src])
+			if res.Steps > int(d.Dist(src, tgt)) {
+				t.Fatalf("%s: %d steps exceeds initial distance %d", s.Name(), res.Steps, d.Dist(src, tgt))
 			}
 		}
 	}
@@ -145,8 +154,8 @@ func TestGreedyTraceIsAWalkWithDecreasingDistance(t *testing.T) {
 	}
 	for i := 1; i < len(res.Path); i++ {
 		prev, cur := res.Path[i-1], res.Path[i]
-		if d[cur] >= d[prev] {
-			t.Fatalf("distance did not decrease at step %d (%d -> %d)", i, d[prev], d[cur])
+		if d.Dist(cur, tgt) >= d.Dist(prev, tgt) {
+			t.Fatalf("distance did not decrease at step %d (%d -> %d)", i, d.Dist(prev, tgt), d.Dist(cur, tgt))
 		}
 		// Every hop is either a graph edge or a long-range link; long-range
 		// links can go anywhere, so only check the local case loosely: if it
@@ -268,8 +277,11 @@ func TestGreedyWithLookaheadValidatesInput(t *testing.T) {
 	if _, err := GreedyWithLookahead(g, inst, -1, 5, distTo(g, 5), rng, Options{}); err == nil {
 		t.Fatal("negative source accepted")
 	}
-	if _, err := GreedyWithLookahead(g, inst, 0, 5, make([]int32, 2), rng, Options{}); err == nil {
-		t.Fatal("short distance vector accepted")
+	if _, err := GreedyWithLookahead(g, inst, 0, 5, nil, rng, Options{}); err == nil {
+		t.Fatal("nil distance source accepted")
+	}
+	if _, err := GreedyWithLookahead(g, inst, 0, 5, dist.NewField(make([]int32, 2), 5), rng, Options{}); err == nil {
+		t.Fatal("short distance field accepted")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/dist"
+	"navaug/internal/graph/gen"
 	"navaug/internal/report"
 	"navaug/internal/sim"
 	"navaug/internal/xrand"
@@ -61,6 +62,10 @@ type graphEntry struct {
 	once   sync.Once
 	bg     *BuiltGraph
 	fields *dist.FieldCache
+	// metric is the resolved analytic distance source (nil when the family
+	// has none or the config disables analytic routing); cells of this
+	// graph steer by it instead of BFS fields when present.
+	metric dist.Source
 	err    error
 }
 
@@ -195,7 +200,7 @@ func (r *Runner) runSpecCells(spec Spec, cs []Cell, sem chan struct{}, done *ato
 // caches and runs the estimation on the engine.
 func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 	gkey := graphKey(cell.Graph)
-	bg, fields, err := r.builtGraph(gkey, cell.Graph)
+	bg, fields, metric, err := r.builtGraph(gkey, cell.Graph)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +208,7 @@ func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields))
+	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields, metric))
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", cell.Graph.Family, cell.Scheme.Key, err)
 	}
@@ -216,7 +221,7 @@ func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 // base pairs/trials, the Config overrides, and the precision target.  In
 // adaptive mode the first batch is half the base trials (the target decides
 // where between that floor and MaxTrials a pair actually stops).
-func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache) sim.Config {
+func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache, metric dist.Source) sim.Config {
 	pairs, trials := cell.Pairs, cell.Trials
 	if r.cfg.Pairs > 0 {
 		pairs = r.cfg.Pairs
@@ -233,7 +238,13 @@ func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache) 
 		Seed:                r.cfg.Seed ^ hash64(gkey),
 		FixedPairs:          cell.FixedPairs,
 		IncludeExtremalPair: true,
-		DistFields:          fields,
+		// An analytic metric replaces the field cache entirely: O(1) memory
+		// per distance query and no per-target BFS.  Results are identical
+		// either way (the metric equals BFS by the gen property tests).
+		DistSource: metric,
+	}
+	if metric == nil {
+		c.DistFields = fields
 	}
 	target := r.cfg.Precision
 	if target == 0 {
@@ -264,7 +275,7 @@ func instKey(gkey string, ref SchemeRef) string {
 // builtGraph returns the shared graph instance for a ref, building it at
 // most once per run.  The builder RNG is derived from (seed, family, n)
 // only, so the instance is identical no matter which cell arrives first.
-func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.FieldCache, error) {
+func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.FieldCache, dist.Source, error) {
 	r.stats.graphLookups.Add(1)
 	v, _ := r.graphs.LoadOrStore(gkey, &graphEntry{})
 	e := v.(*graphEntry)
@@ -279,10 +290,19 @@ func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.Field
 		e.bg = bg
 		// Bounded per-graph cache: pair sets are seeded per graph, so the
 		// same handful of targets recurs across every scheme and scenario
-		// measuring this instance.
+		// measuring this instance.  Lazy — graphs routed through an analytic
+		// metric never compute a field.
 		e.fields = dist.NewFieldCache(bg.G, 64)
+		if !r.cfg.NoAnalytic {
+			e.metric = bg.Metric
+			if e.metric == nil {
+				if m, ok := gen.MetricFor(bg.G); ok {
+					e.metric = m
+				}
+			}
+		}
 	})
-	return e.bg, e.fields, e.err
+	return e.bg, e.fields, e.metric, e.err
 }
 
 // prepared returns the shared prepared instance for (graph, scheme),

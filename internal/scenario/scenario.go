@@ -3,11 +3,12 @@
 // A Spec describes one scenario — which graphs to build (family × sizes),
 // which augmentation schemes to measure on them, how precisely, and how to
 // render the measurements into report tables.  Specs are registered in a
-// process-wide registry (the paper experiments E1..E10 live in
-// internal/experiments) and executed by a Runner, which shares every
-// expensive artefact — built graphs, per-target distance fields, prepared
-// scheme instances — across all cells of all scenarios that measure the
-// same instance, and runs cells concurrently on one persistent sim.Engine.
+// process-wide registry (the paper experiments E1..E10 and the E11 large-n
+// mode live in internal/experiments) and executed by a Runner, which shares
+// every expensive artefact — built graphs, analytic distance metrics or
+// per-target distance fields, prepared scheme instances — across all cells
+// of all scenarios that measure the same instance, and runs cells
+// concurrently on one persistent sim.Engine.
 //
 // Determinism contract: for a fixed Config (seed, scale, precision, pair and
 // trial overrides) the produced tables are byte-identical regardless of
@@ -23,6 +24,7 @@ import (
 	"sync"
 
 	"navaug/internal/augment"
+	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/report"
 	"navaug/internal/sim"
@@ -54,6 +56,12 @@ type Config struct {
 	// MaxTrials caps the per-pair budget in adaptive mode
 	// (default 8× the cell's base trials).
 	MaxTrials int
+	// NoAnalytic forces BFS-field-backed distances even on graphs whose
+	// family has a closed-form analytic metric.  Estimates are identical
+	// either way (the metrics are property-tested against BFS), so this
+	// only trades memory and speed for an end-to-end cross-check — the CI
+	// determinism smoke compares both modes byte-for-byte.
+	NoAnalytic bool
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -97,6 +105,13 @@ func (c Config) ScaleSizes(base ...int) []int {
 type BuiltGraph struct {
 	G   *graph.Graph
 	Aux any
+	// Metric, when non-nil, is the graph's closed-form analytic distance
+	// metric (dist.Source).  The runner then routes this graph's cells
+	// through it instead of BFS distance fields — O(1) memory per query,
+	// which is what the large-n mode (E11) relies on.  Builders may leave
+	// it nil; the runner falls back to gen.MetricFor for graphs whose
+	// generator stamped a recognised family name.
+	Metric dist.Source
 }
 
 // GraphRef names one graph instance declaratively.  (Family, N) is the

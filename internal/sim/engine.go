@@ -99,9 +99,14 @@ func (e *Engine) Close() {
 // Exactly one task touches a pairState per round, so no locking is needed;
 // the round barrier publishes it to the scheduling goroutine.
 type pairState struct {
-	pair      Pair
-	rng       *xrand.RNG
-	distField []int32
+	pair Pair
+	rng  *xrand.RNG
+	// src answers distance-to-target queries for this pair: the run's
+	// shared analytic source when one is configured, otherwise the pair's
+	// BFS field wrapped as a dist.Field on first use.
+	src dist.Source
+	// distST is dist(source, target), recorded when src is resolved.
+	distST    int32
 	steps     []float64
 	longLinks float64
 	failed    int
@@ -140,14 +145,18 @@ func (e *Engine) EstimateInstance(g *graph.Graph, schemeName string, inst augmen
 	if err != nil {
 		return nil, err
 	}
-	fields := cfg.DistFields
-	if fields == nil {
-		// A private per-run cache: bounded near the worker count because each
-		// pair fetches its field once and holds it for all trials, so keeping
-		// more than the concurrently-active fields would only pin memory.
-		fields = dist.NewFieldCache(g, e.workers+1)
-	} else if fields.Graph() != g {
-		return nil, fmt.Errorf("sim: Config.DistFields was built over a different graph")
+	var fields *dist.FieldCache
+	if cfg.DistSource == nil {
+		fields = cfg.DistFields
+		if fields == nil {
+			// A private per-run cache: bounded near the worker count because
+			// each pair fetches its field once and holds it for all trials, so
+			// keeping more than the concurrently-active fields would only pin
+			// memory.
+			fields = dist.NewFieldCache(g, e.workers+1)
+		} else if fields.Graph() != g {
+			return nil, fmt.Errorf("sim: Config.DistFields was built over a different graph")
+		}
 	}
 
 	adaptive := cfg.TargetCI > 0
@@ -229,7 +238,7 @@ func (e *Engine) EstimateInstance(g *graph.Graph, schemeName string, inst augmen
 	for i, st := range states {
 		ps := PairStats{
 			Pair:   st.pair,
-			Dist:   st.distField[st.pair.Source],
+			Dist:   st.distST,
 			Steps:  stats.NewSummary(st.steps),
 			Failed: st.failed,
 		}
@@ -271,9 +280,17 @@ func pairConverged(st *pairState, targetCI float64) bool {
 // runBatch executes b routing trials of one pair, continuing the pair's own
 // RNG stream, and folds the outcomes into its state.
 func runBatch(g *graph.Graph, inst augment.Instance, st *pairState, b int, cfg Config, fields *dist.FieldCache, scratch *route.Scratch) {
-	if st.distField == nil {
-		st.distField = fields.Field(st.pair.Target)
-		if st.distField[st.pair.Source] == graph.Unreachable {
+	if st.src == nil {
+		// Resolve the pair's distance source once: the run-wide analytic
+		// source when configured (O(1) memory, no field), otherwise this
+		// target's BFS field from the shared cache.
+		if cfg.DistSource != nil {
+			st.src = cfg.DistSource
+		} else {
+			st.src = dist.NewField(fields.Field(st.pair.Target), st.pair.Target)
+		}
+		st.distST = st.src.Dist(st.pair.Source, st.pair.Target)
+		if st.distST == graph.Unreachable {
 			st.err = fmt.Errorf("sim: pair (%d,%d) is disconnected", st.pair.Source, st.pair.Target)
 			st.done = true
 			return
@@ -284,9 +301,9 @@ func runBatch(g *graph.Graph, inst augment.Instance, st *pairState, b int, cfg C
 		var res route.Result
 		var err error
 		if cfg.Lookahead {
-			res, err = route.GreedyWithLookahead(g, inst, st.pair.Source, st.pair.Target, st.distField, st.rng, opts)
+			res, err = route.GreedyWithLookahead(g, inst, st.pair.Source, st.pair.Target, st.src, st.rng, opts)
 		} else {
-			res, err = route.Greedy(g, inst, st.pair.Source, st.pair.Target, st.distField, st.rng, opts)
+			res, err = route.Greedy(g, inst, st.pair.Source, st.pair.Target, st.src, st.rng, opts)
 		}
 		if err != nil {
 			st.err = err

@@ -53,12 +53,20 @@ type Config struct {
 	// Lookahead routes with one hop of neighbour-of-neighbour lookahead
 	// (extension experiment) instead of plain greedy routing.
 	Lookahead bool
+	// DistSource, when non-nil, supplies O(1) point-to-point distances for
+	// greedy routing (an analytic closed-form metric of a structured graph
+	// family, see gen.MetricFor).  It takes precedence over DistFields and
+	// avoids materialising any per-target distance field, so memory per
+	// query stays O(1) even at n >= 10^6.  The source must agree with BFS
+	// hop distances on the graph; results are identical either way.
+	DistSource dist.Source
 	// DistFields, when non-nil, supplies the per-target distance fields
 	// greedy routing steers by.  It must be a cache over the same graph.
-	// When nil a private cache is created per estimation run; the scenario
-	// runner and CompareSchemes share one cache per graph, so each target's
-	// BFS is paid once rather than once per scheme.  Fields are
-	// deterministic, so sharing never affects results.
+	// When nil (and DistSource is nil) a private cache is created per
+	// estimation run; the scenario runner and CompareSchemes share one
+	// cache per graph, so each target's BFS is paid once rather than once
+	// per scheme.  Fields are deterministic, so sharing never affects
+	// results.
 	DistFields *dist.FieldCache
 	// TargetCI, when positive, switches the run to streaming adaptive
 	// estimation: each pair keeps running deterministic trial batches until
@@ -165,7 +173,7 @@ func selectPairs(g *graph.Graph, cfg Config) ([]Pair, error) {
 func CompareSchemes(g *graph.Graph, schemes []augment.Scheme, cfg Config) ([]*Estimate, error) {
 	e := NewEngine(cfg.Workers)
 	defer e.Close()
-	if cfg.DistFields == nil {
+	if cfg.DistSource == nil && cfg.DistFields == nil {
 		cfg.DistFields = dist.NewFieldCache(g, 0)
 	}
 	out := make([]*Estimate, 0, len(schemes))

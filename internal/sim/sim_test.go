@@ -407,3 +407,67 @@ func TestAdaptiveDeterministicAcrossWorkerCounts(t *testing.T) {
 			e1.MeanSteps, e1.Samples, e7.MeanSteps, e7.Samples)
 	}
 }
+
+// TestEngineScratchReuseAcrossManySizes exercises the per-worker scratch
+// map past its eviction cap: one long-lived engine serves estimations over
+// more distinct graph sizes than maxWorkerScratches, interleaved and
+// repeated so evicted sizes are revisited.  Scratch identity (fresh,
+// reused, or rebuilt after eviction) must never affect results — every
+// estimate must equal the one a fresh transient engine computes.
+func TestEngineScratchReuseAcrossManySizes(t *testing.T) {
+	e := NewEngine(1) // one worker so every size shares a single scratch map
+	defer e.Close()
+	cfg := Config{Pairs: 3, Trials: 2, Seed: 5, IncludeExtremalPair: true}
+	sizes := []int{50, 64, 80, 100, 128, 150, 180, 200, 230, 260}
+	if len(sizes) <= maxWorkerScratches {
+		t.Fatalf("test needs more sizes (%d) than the scratch cap (%d)", len(sizes), maxWorkerScratches)
+	}
+	want := make([]*Estimate, len(sizes))
+	for i, n := range sizes {
+		est, err := EstimateGreedyDiameter(gen.Cycle(n), augment.NewUniformScheme(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = est
+	}
+	// Two passes: the second revisits sizes whose scratches were evicted
+	// during the first.
+	for pass := 0; pass < 2; pass++ {
+		for i, n := range sizes {
+			got, err := e.Estimate(gen.Cycle(n), augment.NewUniformScheme(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MeanSteps != want[i].MeanSteps || got.GreedyDiameter != want[i].GreedyDiameter {
+				t.Fatalf("pass %d size %d: scratch reuse changed results: %v vs %v",
+					pass, n, got.MeanSteps, want[i].MeanSteps)
+			}
+		}
+	}
+}
+
+// TestDistSourceMatchesFieldBacked: routing through an analytic dist.Source
+// must reproduce the field-backed estimates exactly, pair stats included.
+func TestDistSourceMatchesFieldBacked(t *testing.T) {
+	g := gen.Torus2D(16, 16)
+	base := Config{Pairs: 5, Trials: 3, Seed: 21, IncludeExtremalPair: true}
+	fieldBacked, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSource := base
+	withSource.DistSource = gen.Torus2DMetric(16, 16)
+	analytic, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), withSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fieldBacked.MeanSteps != analytic.MeanSteps || fieldBacked.GreedyDiameter != analytic.GreedyDiameter {
+		t.Fatalf("analytic source changed results: %v vs %v", analytic.MeanSteps, fieldBacked.MeanSteps)
+	}
+	for i := range fieldBacked.PairStats {
+		fp, ap := fieldBacked.PairStats[i], analytic.PairStats[i]
+		if fp.Dist != ap.Dist || fp.Steps.Mean != ap.Steps.Mean {
+			t.Fatalf("pair %d diverged between source kinds: %+v vs %+v", i, fp, ap)
+		}
+	}
+}
