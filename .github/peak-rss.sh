@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# peak-rss.sh <ceiling-kb> <output-file> <command...>
+#
+# Runs the command with stdout redirected to the output file while polling
+# its VmHWM (peak resident set), then fails if the command failed or its
+# peak RSS reached the ceiling.  Shared by the bounded-RSS million-node
+# experiment smokes (E11, E12) so the polling harness cannot drift between
+# jobs.
+set -u
+ceiling=$1
+out=$2
+shift 2
+"$@" > "$out" &
+PID=$!
+peak=0
+while kill -0 "$PID" 2>/dev/null; do
+  cur=$(awk '/VmHWM/{print $2}' "/proc/$PID/status" 2>/dev/null || echo 0)
+  [ -n "$cur" ] && [ "$cur" -gt "$peak" ] && peak=$cur
+  sleep 0.2
+done
+wait "$PID"
+status=$?
+echo "peak RSS: ${peak} kB (ceiling ${ceiling} kB)"
+if [ "$status" -ne 0 ]; then
+  echo "command failed with status $status" >&2
+  exit "$status"
+fi
+[ "$peak" -lt "$ceiling" ]

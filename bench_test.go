@@ -186,6 +186,42 @@ func BenchmarkLandmarkOracle(b *testing.B) {
 	}
 }
 
+// BenchmarkTwoHopBuild measures construction of the exact 2-hop-cover
+// oracle on a 16384-node preferential-attachment graph — the hub-dominated
+// regime the labeling is designed for (E12 rides this to n = 2^20).
+func BenchmarkTwoHopBuild(b *testing.B) {
+	g := gen.PowerLawAttachment(16384, 2, xrand.New(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := dist.NewTwoHop(g)
+		b.ReportMetric(o.AvgLabel(), "avg-label")
+	}
+}
+
+// BenchmarkTwoHopQuery measures a single exact point-to-point query (one
+// merged scan over two sorted hub lists) against the oracle built above —
+// the per-step cost greedy routing pays on unstructured graphs at large n.
+func BenchmarkTwoHopQuery(b *testing.B) {
+	g := gen.PowerLawAttachment(16384, 2, xrand.New(4))
+	o := dist.NewTwoHop(g)
+	rng := xrand.New(2)
+	const mask = 1<<12 - 1
+	us := make([]graph.NodeID, mask+1)
+	vs := make([]graph.NodeID, mask+1)
+	for i := range us {
+		us[i] = graph.NodeID(rng.Intn(g.N()))
+		vs[i] = graph.NodeID(rng.Intn(g.N()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Dist(us[i&mask], vs[i&mask]) < 0 {
+			b.Fatal("connected graph reported unreachable pair")
+		}
+	}
+}
+
 // BenchmarkLandmarkOracleQuery measures a single O(k) bound query against
 // the oracle built above.
 func BenchmarkLandmarkOracleQuery(b *testing.B) {

@@ -1,7 +1,9 @@
-// Command navsim runs the paper-reproduction experiments (E1..E11,
+// Command navsim runs the paper-reproduction experiments (E1..E12,
 // including the E11 large-n mode that sweeps million-node tori and
-// hypercubes through analytic O(1) distance oracles) and ad-hoc
-// greedy-diameter estimations through the scenario engine.
+// hypercubes through analytic O(1) distance oracles, and the E12
+// universality sweep that reaches million-node unstructured graphs through
+// the exact 2-hop-cover oracle) and ad-hoc greedy-diameter estimations
+// through the scenario engine.
 //
 // Usage:
 //
@@ -10,14 +12,17 @@
 //	    what EXPERIMENTS.md is generated from.
 //
 //	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json]
-//	           [-precision 0.1] [-workers N] [-parallel N] [-no-analytic] [-quiet]
+//	           [-precision 0.1] [-workers N] [-parallel N] [-oracle auto|analytic|twohop|field]
+//	           [-no-analytic] [-quiet]
 //	    Run the selected experiments (default: all) on one shared scenario
 //	    runner and print the report.  -precision enables streaming adaptive
 //	    estimation; -workers/-parallel only change wall-clock, never results.
-//	    -no-analytic forces BFS-field-backed distances even on families with
-//	    closed-form metrics (results are identical; used by the CI
-//	    determinism cross-check).  Progress goes to stderr, the report to
-//	    stdout.
+//	    -oracle picks the distance-source tier greedy routing steers by
+//	    (auto: analytic metric, else a 2-hop-cover oracle on large graphs
+//	    within a label budget, else BFS fields); every tier is exact, so the
+//	    report is byte-identical under every policy — only build time, query
+//	    time and memory change.  -no-analytic is the legacy spelling of
+//	    -oracle field.  Progress goes to stderr, the report to stdout.
 //
 //	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6]
 //	           [-precision 0.1] [-seed N]
@@ -34,6 +39,7 @@ import (
 	"strings"
 
 	"navaug/internal/core"
+	"navaug/internal/dist"
 	"navaug/internal/exact"
 	"navaug/internal/experiments"
 	"navaug/internal/scenario"
@@ -72,8 +78,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   navsim list [-format text|md]
   navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json] [-precision 0.1]
-             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N] [-no-analytic] [-quiet]
-  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1] [-seed N] [-workers N]
+             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N]
+             [-oracle auto|analytic|twohop|field] [-no-analytic] [-quiet]
+  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1] [-seed N]
+             [-workers N] [-oracle auto|analytic|twohop|field]
   navsim exact -family path -n 400 -scheme uniform [-seed N]`)
 }
 
@@ -116,9 +124,14 @@ func runExperiments(args []string) error {
 	trials := fs.Int("trials", 0, "override augmentation redraws per pair")
 	precision := fs.Float64("precision", 0, "adaptive mode: target 95% CI half-width relative to the mean (0 = fixed budgets)")
 	maxTrials := fs.Int("max-trials", 0, "adaptive mode: per-pair trial cap (0 = 8x the base budget)")
-	noAnalytic := fs.Bool("no-analytic", false, "force BFS-field-backed distances even on families with closed-form metrics (identical results; cross-check knob)")
+	oracle := fs.String("oracle", "auto", "distance-source policy: auto, analytic, twohop or field (identical results; cost knob)")
+	noAnalytic := fs.Bool("no-analytic", false, "force BFS-field-backed distances (legacy spelling of -oracle field)")
 	quiet := fs.Bool("quiet", false, "suppress the per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := dist.ParseSourcePolicy(*oracle)
+	if err != nil {
 		return err
 	}
 	// Reject bad formats before spending minutes running the suite.
@@ -136,6 +149,7 @@ func runExperiments(args []string) error {
 		Trials:     *trials,
 		Precision:  *precision,
 		MaxTrials:  *maxTrials,
+		Oracle:     policy,
 		NoAnalytic: *noAnalytic,
 	}
 	if !*quiet {
@@ -167,7 +181,12 @@ func runEstimate(args []string) error {
 	precision := fs.Float64("precision", 0, "adaptive mode: target 95% CI half-width relative to the mean (0 = fixed budget)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	oracle := fs.String("oracle", "auto", "distance-source policy: auto, analytic, twohop or field (identical results; cost knob)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := dist.ParseSourcePolicy(*oracle)
+	if err != nil {
 		return err
 	}
 	g, err := core.GraphByName(*family, *n, *seed)
@@ -189,6 +208,7 @@ func runEstimate(args []string) error {
 		Workers:             *workers,
 		TargetCI:            *precision,
 		IncludeExtremalPair: true,
+		Policy:              policy,
 	})
 	if err != nil {
 		return err

@@ -182,8 +182,9 @@ func SchemeNames() []string {
 // size.  Recognised families:
 //
 //	path, cycle, grid, grid3d, torus, hypercube, complete, star,
-//	binary-tree, balanced-tree, random-tree, caterpillar, spider, comb,
-//	interval, gnp, regular, watts-strogatz, lollipop, barbell
+//	binary-tree, balanced-tree, random-tree, attachment-tree, caterpillar,
+//	spider, comb, interval, gnp, regular, watts-strogatz, powerlaw,
+//	powerlaw-tree, lollipop, barbell
 func GraphByName(family string, n int, seed uint64) (*graph.Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: graph size must be >= 1, got %d", n)
@@ -223,6 +224,8 @@ func GraphByName(family string, n int, seed uint64) (*graph.Graph, error) {
 		return gen.BalancedTree(3, depth), nil
 	case "random-tree", "rtree":
 		return gen.RandomTree(n, rng), nil
+	case "attachment-tree", "ratree":
+		return gen.RandomAttachmentTree(n, rng), nil
 	case "caterpillar":
 		spine := maxInt(n/4, 1)
 		return gen.Caterpillar(spine, 3), nil
@@ -246,6 +249,16 @@ func GraphByName(family string, n int, seed uint64) (*graph.Graph, error) {
 			d++
 		}
 		return gen.RandomRegular(n, d, rng)
+	case "powerlaw", "plaw":
+		if n < 3 {
+			return nil, fmt.Errorf("core: powerlaw needs n >= 3")
+		}
+		return gen.PowerLawAttachment(n, 2, rng), nil
+	case "powerlaw-tree", "plaw-tree":
+		if n < 2 {
+			return nil, fmt.Errorf("core: powerlaw-tree needs n >= 2")
+		}
+		return gen.PowerLawAttachment(n, 1, rng), nil
 	case "watts-strogatz", "ws":
 		if n < 5 {
 			return nil, fmt.Errorf("core: watts-strogatz needs n >= 5")
@@ -266,8 +279,9 @@ func GraphByName(family string, n int, seed uint64) (*graph.Graph, error) {
 func GraphFamilies() []string {
 	fams := []string{
 		"path", "cycle", "grid", "grid3d", "torus", "hypercube", "complete", "star",
-		"binary-tree", "balanced-tree", "random-tree", "caterpillar", "spider", "comb",
-		"interval", "gnp", "regular", "watts-strogatz", "lollipop", "barbell",
+		"binary-tree", "balanced-tree", "random-tree", "attachment-tree", "caterpillar",
+		"spider", "comb", "interval", "gnp", "regular", "watts-strogatz", "powerlaw",
+		"powerlaw-tree", "lollipop", "barbell",
 	}
 	sort.Strings(fams)
 	return fams

@@ -11,7 +11,18 @@ import (
 //
 //	|d(l,u) − d(l,v)|  ≤  d(u,v)  ≤  d(l,u) + d(l,v)
 //
-// and the oracle returns the tightest of each across landmarks.  The first
+// and the oracle returns the tightest of each across landmarks.
+//
+// Approximation guarantee (pinned by the disttest conformance suite and
+// TestLandmarkExactAtLandmarks): for every pair, Bounds returns
+// lower ≤ d(u,v) ≤ upper, and Dist returns the upper bound — never an
+// underestimate.  Both bounds are exact (equal to d(u,v)) whenever some
+// landmark lies on a shortest u–v path; in particular whenever u or v *is*
+// a landmark.  There is no bounded multiplicative error in general — a
+// pair far from every landmark can have upper ≫ d(u,v) — which is why the
+// oracle must not serve routing invariants that need exact distances
+// (greedy progress checks); exact tiers (APSP, TwoHop, analytic metrics,
+// BFS fields) exist for that.  The first
 // landmark is drawn uniformly; the rest follow the farthest-point rule
 // (maximise the distance to the landmarks chosen so far), which spreads
 // the sketch over the graph and guarantees every component holding a

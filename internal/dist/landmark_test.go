@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"testing"
+
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// TestLandmarkExactAtLandmarks pins the tight half of the landmark
+// guarantee: when one endpoint is a landmark l, the triangle bounds from l
+// itself collapse — |d(l,l) − d(l,v)| = d(l,v) = d(l,l) + d(l,v) — so
+// Bounds must return the exact distance on both sides, and Dist must be
+// exact too.
+func TestLandmarkExactAtLandmarks(t *testing.T) {
+	for name, g := range twoHopTestGraphs() {
+		if g.N() < 2 {
+			continue
+		}
+		o := NewLandmarkOracle(g, 4, xrand.New(5))
+		for _, l := range o.Landmarks() {
+			d := g.BFS(l)
+			for v := 0; v < g.N(); v++ {
+				want := d[v]
+				lower, upper := o.Bounds(l, graph.NodeID(v))
+				if want == graph.Unreachable {
+					if upper != graph.Unreachable {
+						t.Fatalf("%s: landmark %d to unreachable %d got finite upper %d", name, l, v, upper)
+					}
+					continue
+				}
+				if lower != want || upper != want {
+					t.Fatalf("%s: Bounds(%d,%d) = (%d,%d), want exact (%d,%d) at a landmark endpoint",
+						name, l, v, lower, upper, want, want)
+				}
+				if got := o.Dist(l, graph.NodeID(v)); got != want {
+					t.Fatalf("%s: Dist(%d,%d) = %d, want exact %d at a landmark endpoint", name, l, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLandmarkNeverUnderestimates is the safe half of the guarantee on
+// whole graphs: Dist (the upper bound) is never below the true distance,
+// and the lower bound never above it.
+func TestLandmarkNeverUnderestimates(t *testing.T) {
+	for name, g := range twoHopTestGraphs() {
+		if g.N() < 2 {
+			continue
+		}
+		for _, k := range []int{1, 3, 8} {
+			o := NewLandmarkOracle(g, k, xrand.New(uint64(k)))
+			for u := 0; u < g.N(); u++ {
+				d := g.BFS(graph.NodeID(u))
+				for v := 0; v < g.N(); v++ {
+					lower, upper := o.Bounds(graph.NodeID(u), graph.NodeID(v))
+					if d[v] == graph.Unreachable {
+						if upper != graph.Unreachable {
+							t.Fatalf("%s k=%d: unreachable pair (%d,%d) got finite upper %d", name, k, u, v, upper)
+						}
+						continue
+					}
+					if upper != graph.Unreachable && upper < d[v] {
+						t.Fatalf("%s k=%d: upper bound %d below true distance %d for (%d,%d)", name, k, upper, d[v], u, v)
+					}
+					if lower > d[v] {
+						t.Fatalf("%s k=%d: lower bound %d above true distance %d for (%d,%d)", name, k, lower, d[v], u, v)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"fmt"
+
+	"navaug/internal/graph"
+)
+
+// SourcePolicy selects which distance-source tier greedy routing steers by
+// on a given graph.  The tiers answer identical distances (each one is
+// exact and pinned to BFS ground truth by the disttest conformance suite),
+// so the policy never changes results — only build time, query time and
+// memory.  It is threaded from the navsim -oracle flag through
+// scenario.Config and sim.Config down to the per-graph resolution in
+// Resolve.
+type SourcePolicy string
+
+const (
+	// PolicyAuto picks the cheapest exact tier per graph: the closed-form
+	// analytic metric when the family has one, else a 2-hop-cover oracle
+	// for graphs of at least TwoHopAutoMinNodes nodes — abandoned at a
+	// bounded label budget (TwoHopAutoMaxAvgLabel) on graphs whose covers
+	// grow too fast — else per-target BFS fields.
+	PolicyAuto SourcePolicy = "auto"
+	// PolicyAnalytic uses the analytic metric when available and BFS
+	// fields otherwise, never building labels (the pre-2-hop behaviour).
+	PolicyAnalytic SourcePolicy = "analytic"
+	// PolicyTwoHop always builds the exact 2-hop-cover oracle, even on
+	// graphs with an analytic metric and with no label budget.
+	PolicyTwoHop SourcePolicy = "twohop"
+	// PolicyField always steers by per-target BFS distance fields.
+	PolicyField SourcePolicy = "field"
+)
+
+// TwoHopAutoMinNodes is the graph size at which PolicyAuto starts paying
+// the 2-hop label build for graphs without an analytic metric.  Below it,
+// the handful of per-target BFS fields an estimation needs is cheaper than
+// any label build.
+const TwoHopAutoMinNodes = 32768
+
+// TwoHopAutoMaxAvgLabel is the per-node label budget PolicyAuto hands to
+// the 2-hop build.  Graphs that exceed it (expander-like families whose
+// 2-hop covers grow ~sqrt(n)) abort the build at bounded cost and fall
+// back to BFS fields.  The budget is deliberately tight: labels above it
+// cost more to build than the handful of per-target BFS fields an
+// estimation needs, so auto only keeps oracles that are genuinely cheap
+// (tree-like and hub-dominated families); -oracle twohop forces a build
+// with no budget.
+const TwoHopAutoMaxAvgLabel = 64
+
+// ParseSourcePolicy converts a CLI string into a policy ("" means auto).
+func ParseSourcePolicy(s string) (SourcePolicy, error) {
+	switch SourcePolicy(s) {
+	case "":
+		return PolicyAuto, nil
+	case PolicyAuto, PolicyAnalytic, PolicyTwoHop, PolicyField:
+		return SourcePolicy(s), nil
+	}
+	return "", fmt.Errorf("dist: unknown oracle policy %q (known: auto, analytic, twohop, field)", s)
+}
+
+// Resolve picks the distance Source for g under the policy.  metric is the
+// graph's closed-form analytic metric when one exists (resolution is the
+// caller's job — typically gen.MetricFor — to keep this package free of a
+// generator dependency).  A nil return means "use per-target BFS fields";
+// everything else is a shared exact Source.  Resolution is deterministic:
+// for a fixed (graph, metric, policy) it always returns the same tier.
+// An unknown policy string panics — a misspelled policy silently running a
+// different tier than asked would be a debugging trap; CLI input goes
+// through ParseSourcePolicy, so reaching here with garbage is a
+// programming error (the same convention the gen generators follow).
+func (p SourcePolicy) Resolve(g *graph.Graph, metric Source) Source {
+	switch p {
+	case PolicyField:
+		return nil
+	case PolicyAnalytic:
+		return metric
+	case PolicyTwoHop:
+		return NewTwoHop(g)
+	case PolicyAuto, "":
+		if metric != nil {
+			return metric
+		}
+		if g.N() >= TwoHopAutoMinNodes {
+			if t := NewTwoHopWith(g, TwoHopOptions{MaxAvgLabel: TwoHopAutoMaxAvgLabel}); t != nil {
+				return t
+			}
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("dist: unknown oracle policy %q (use ParseSourcePolicy for untrusted input)", string(p)))
+	}
+}

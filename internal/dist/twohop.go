@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"navaug/internal/graph"
+)
+
+// TwoHop is an exact 2-hop-cover distance oracle (pruned landmark labeling)
+// for arbitrary unweighted graphs.  Every node v stores a label: a sorted
+// list of (hub, dist(hub, v)) pairs such that for every connected pair
+// (u, v) some hub on a shortest u–v path appears in both labels.  A query
+// is then one merged scan,
+//
+//	Dist(u, v) = min over common hubs h of dist(u, h) + dist(h, v),
+//
+// costing O(|label_u| + |label_v|) time and O(1) memory — which is what
+// opens the million-node routing regime to graphs with no closed-form
+// analytic metric (the structured families keep their O(1) metrics; see
+// SourcePolicy for how the tiers are picked).
+//
+// Construction processes nodes as hubs in order of decreasing degree (ties
+// by id) and runs a pruned BFS from each: a node u reached at distance d is
+// skipped — neither labeled nor expanded — when the labels committed so far
+// already certify dist(hub, u) <= d.  Hubs are processed in fixed-size
+// batches; the BFS traversals of one batch run in parallel against the
+// labels committed by earlier batches and their additions are merged in hub
+// order, so the resulting labels are byte-for-byte identical for every
+// worker count (they depend on the batch size, which is a fixed constant).
+// Exactness does not depend on the hub order or batching — pruning only
+// drops entries whose distance the committed labels already answer — but
+// label sizes do: degree order keeps them small on graphs with skewed
+// degrees or local structure, while on expander-like graphs (random
+// regular, sparse GNP) 2-hop covers are inherently large and labels grow
+// polynomially; see the E12 notes in BENCH_experiments.json.
+//
+// The oracle is immutable after construction and safe for concurrent
+// readers.  Unreachable pairs yield graph.Unreachable: a hub's BFS never
+// leaves its component, so cross-component labels share no hubs.
+type TwoHop struct {
+	n     int32
+	order []graph.NodeID // hub rank -> node, decreasing degree
+	// CSR-packed labels: node v's label is the parallel slices
+	// hubs[index[v]:index[v+1]] (hub ranks, strictly increasing) and
+	// dists[index[v]:index[v+1]].
+	index []int64
+	hubs  []int32
+	dists []int32
+}
+
+// TwoHopOptions tunes NewTwoHopWith.
+type TwoHopOptions struct {
+	// Workers is the per-batch BFS worker count; <= 0 means GOMAXPROCS.
+	// The labels are identical for every worker count.
+	Workers int
+	// MaxAvgLabel, when positive, aborts the build as soon as the total
+	// label count exceeds MaxAvgLabel·n (NewTwoHopWith then returns nil).
+	// On expander-like graphs 2-hop covers inherently grow ~sqrt(n) labels
+	// per node; the budget lets the automatic SourcePolicy try the oracle
+	// and fall back to BFS fields at bounded cost.  The check runs at batch
+	// commits only, so whether a build aborts — like the labels themselves
+	// — is a pure function of the graph, never of the worker count.
+	MaxAvgLabel float64
+}
+
+// twoHopMaxBatch caps the number of hubs whose pruned BFS traversals run
+// concurrently between label commits.  Batches grow geometrically from 1:
+// the first hubs — whose traversals are the expensive, graph-spanning ones
+// — run (nearly) sequentially so each sees the previous hubs' labels and
+// prunes as aggressively as sequential PLL, while the long tail of cheap,
+// quickly-pruned hubs runs wide.  The schedule is a fixed function of the
+// hub index — not of the worker count — because batch boundaries (unlike
+// scheduling) influence which prunes fire and therefore the exact label
+// sets; workers only split a batch's fixed work.
+const twoHopMaxBatch = 64
+
+// twoHopUnset marks an absent entry in the dense per-root hub-distance
+// scratch used during construction.
+const twoHopUnset int32 = -1
+
+// twoHopInf is the query accumulator's starting value; any realisable
+// two-hop distance (< 2n) is below it.
+const twoHopInf int32 = 1<<31 - 1
+
+// NewTwoHop builds the exact 2-hop-cover oracle of g using all CPUs.
+func NewTwoHop(g *graph.Graph) *TwoHop {
+	return NewTwoHopWith(g, TwoHopOptions{})
+}
+
+// twoHopMix is the SplitMix64 finaliser, used as the deterministic
+// tie-breaking hash of the hub order.
+func twoHopMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// twoHopScratch is the per-worker reusable state of one pruned BFS.
+type twoHopScratch struct {
+	dist     []int32 // per-node BFS distance, twoHopUnset when untouched
+	rootDist []int32 // per-hub-rank committed distance to the current root
+	queue    []graph.NodeID
+}
+
+// twoHopAdditions is the outcome of one hub's pruned BFS: the nodes that
+// received a label entry, in BFS order, with their exact distances.
+type twoHopAdditions struct {
+	nodes []graph.NodeID
+	dists []int32
+}
+
+// NewTwoHopWith builds the oracle with the given options.  It returns nil
+// when a MaxAvgLabel budget is set and exceeded (see TwoHopOptions).
+func NewTwoHopWith(g *graph.Graph, opts TwoHopOptions) *TwoHop {
+	n := g.N()
+	t := &TwoHop{n: int32(n)}
+	t.order = make([]graph.NodeID, n)
+	for i := range t.order {
+		t.order[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(t.order, func(i, j int) bool {
+		di, dj := g.Degree(t.order[i]), g.Degree(t.order[j])
+		if di != dj {
+			return di > dj
+		}
+		// Ties break by a deterministic hash of the node id, not the id
+		// itself: on degree-flat graphs (cycles, tori, regular graphs) id
+		// order degenerates — consecutive hubs cover almost the same pairs
+		// and labels grow towards O(n) — while a pseudo-random order gives
+		// the divide-and-conquer covers that keep them logarithmic.
+		hi, hj := twoHopMix(uint64(t.order[i])), twoHopMix(uint64(t.order[j]))
+		if hi != hj {
+			return hi < hj
+		}
+		return t.order[i] < t.order[j]
+	})
+	t.index = make([]int64, n+1)
+	if n == 0 {
+		return t
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > twoHopMaxBatch {
+		workers = twoHopMaxBatch
+	}
+
+	// Growable per-node labels during construction; packed into the CSR
+	// arrays once every hub has been processed.
+	labHubs := make([][]int32, n)
+	labDists := make([][]int32, n)
+
+	scratches := make([]*twoHopScratch, workers)
+	for w := range scratches {
+		sc := &twoHopScratch{
+			dist:     make([]int32, n),
+			rootDist: make([]int32, n),
+			queue:    make([]graph.NodeID, 0, n),
+		}
+		for i := 0; i < n; i++ {
+			sc.dist[i] = twoHopUnset
+			sc.rootDist[i] = twoHopUnset
+		}
+		scratches[w] = sc
+	}
+
+	results := make([]twoHopAdditions, twoHopMaxBatch)
+	var total int64
+	budget := int64(-1)
+	if opts.MaxAvgLabel > 0 {
+		budget = int64(opts.MaxAvgLabel * float64(n))
+	}
+	batch := 1
+	for start := 0; start < n; {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		// Pruned BFS of every hub in the batch, in parallel, reading only
+		// the labels committed by earlier batches.
+		var next atomic.Int64
+		next.Store(int64(start))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(sc *twoHopScratch) {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1) - 1)
+					if k >= end {
+						return
+					}
+					results[k-start] = twoHopPrunedBFS(g, t.order[k], labHubs, labDists, sc)
+				}
+			}(scratches[w])
+		}
+		wg.Wait()
+		// Commit in hub order: hub ranks increase monotonically across
+		// commits, so each node's hub list stays strictly increasing.
+		for k := start; k < end; k++ {
+			res := results[k-start]
+			for i, u := range res.nodes {
+				labHubs[u] = append(labHubs[u], int32(k))
+				labDists[u] = append(labDists[u], res.dists[i])
+			}
+			total += int64(len(res.nodes))
+		}
+		if budget >= 0 && total > budget {
+			return nil
+		}
+		start = end
+		if batch < twoHopMaxBatch {
+			batch *= 2
+		}
+	}
+
+	t.hubs = make([]int32, total)
+	t.dists = make([]int32, total)
+	for v := 0; v < n; v++ {
+		off := t.index[v]
+		t.index[v+1] = off + int64(len(labHubs[v]))
+		copy(t.hubs[off:], labHubs[v])
+		copy(t.dists[off:], labDists[v])
+		labHubs[v], labDists[v] = nil, nil
+	}
+	return t
+}
+
+// twoHopPrunedBFS runs the pruned BFS from root against the committed
+// labels: a node u reached at distance d is labeled (and expanded) only if
+// no committed two-hop path already certifies dist(root, u) <= d.
+func twoHopPrunedBFS(g *graph.Graph, root graph.NodeID, labHubs, labDists [][]int32, sc *twoHopScratch) twoHopAdditions {
+	rootHubs, rootDists := labHubs[root], labDists[root]
+	for i, h := range rootHubs {
+		sc.rootDist[h] = rootDists[i]
+	}
+	queue := sc.queue[:0]
+	queue = append(queue, root)
+	sc.dist[root] = 0
+	var out twoHopAdditions
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := sc.dist[u]
+		// Prune when the committed labels already answer dist(root, u):
+		// every two-hop estimate is an upper bound, so estimate <= du
+		// means it equals the true distance and this entry is redundant.
+		covered := false
+		lh, ld := labHubs[u], labDists[u]
+		for i, h := range lh {
+			if rd := sc.rootDist[h]; rd >= 0 && rd+ld[i] <= du {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		out.nodes = append(out.nodes, u)
+		out.dists = append(out.dists, du)
+		for _, v := range g.Neighbors(u) {
+			if sc.dist[v] == twoHopUnset {
+				sc.dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Reset the touched scratch entries so the next BFS starts clean.
+	for _, u := range queue {
+		sc.dist[u] = twoHopUnset
+	}
+	for _, h := range rootHubs {
+		sc.rootDist[h] = twoHopUnset
+	}
+	sc.queue = queue
+	return out
+}
+
+// N returns the number of nodes the oracle covers.
+func (t *TwoHop) N() int { return int(t.n) }
+
+// Dist implements Source (and Oracle) with one merged scan over the two
+// sorted hub lists.  Pairs with no common hub are in different components
+// and yield graph.Unreachable.
+func (t *TwoHop) Dist(u, v graph.NodeID) int32 {
+	if u == v {
+		return 0
+	}
+	i, iEnd := t.index[u], t.index[u+1]
+	j, jEnd := t.index[v], t.index[v+1]
+	best := twoHopInf
+	for i < iEnd && j < jEnd {
+		hu, hv := t.hubs[i], t.hubs[j]
+		switch {
+		case hu == hv:
+			if d := t.dists[i] + t.dists[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		case hu < hv:
+			i++
+		default:
+			j++
+		}
+	}
+	if best == twoHopInf {
+		return graph.Unreachable
+	}
+	return best
+}
+
+// Label returns node v's label as shared, read-only parallel slices: the
+// hubs (as node ids, in increasing hub-rank order) and the exact distances
+// to them.  Tests use it to compare builds entry by entry.
+func (t *TwoHop) Label(v graph.NodeID) (hubs []graph.NodeID, dists []int32) {
+	lo, hi := t.index[v], t.index[v+1]
+	hubs = make([]graph.NodeID, hi-lo)
+	for i := lo; i < hi; i++ {
+		hubs[i-lo] = t.order[t.hubs[i]]
+	}
+	return hubs, t.dists[lo:hi]
+}
+
+// Entries returns the total number of label entries across all nodes.
+func (t *TwoHop) Entries() int64 { return int64(len(t.hubs)) }
+
+// AvgLabel returns the mean label size per node.
+func (t *TwoHop) AvgLabel() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return float64(len(t.hubs)) / float64(t.n)
+}
+
+// MaxLabel returns the largest single-node label size.
+func (t *TwoHop) MaxLabel() int {
+	best := int64(0)
+	for v := int32(0); v < t.n; v++ {
+		if sz := t.index[v+1] - t.index[v]; sz > best {
+			best = sz
+		}
+	}
+	return int(best)
+}
+
+// MemoryBytes returns the approximate resident size of the packed oracle.
+func (t *TwoHop) MemoryBytes() int64 {
+	return int64(len(t.hubs))*8 + int64(len(t.index))*8 + int64(len(t.order))*4
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"navaug/internal/dist"
 	"navaug/internal/report"
 	"navaug/internal/scenario"
 	"navaug/internal/xrand"
@@ -31,8 +32,8 @@ func runSpec(t *testing.T, spec scenario.Spec, cfg Config) []*report.Table {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -44,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(IDs()) != 11 {
+	if len(IDs()) != 12 {
 		t.Fatal("IDs() length mismatch")
 	}
 }
@@ -112,6 +113,44 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	}
 	if stats.Prepares >= stats.InstLookups {
 		t.Fatalf("no prepared-scheme sharing happened: %d prepares for %d lookups", stats.Prepares, stats.InstLookups)
+	}
+}
+
+// TestE12OraclePoliciesAgree pins the cross-oracle determinism contract
+// in-tree (the CI smoke pins it end-to-end through navsim): the E12 tables
+// must be byte-identical whether distances come from per-target BFS
+// fields, the exact 2-hop-cover oracle, or the auto policy mixing the
+// tiers per graph.  Any divergence means an oracle returned a wrong
+// distance somewhere, so this doubles as an integration-level exactness
+// test on the exact graphs E12 measures.
+func TestE12OraclePoliciesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds unbudgeted 2-hop labels on expander families; skipped under -short (the race job covers the build via the dist tests)")
+	}
+	e12, ok := ByID("E12")
+	if !ok {
+		t.Fatal("E12 not registered")
+	}
+	render := func(policy dist.SourcePolicy) string {
+		cfg := smokeConfig()
+		// Scale below the smoke default: the twohop policy builds labels
+		// with no budget, and expander-like families (random regular) pay
+		// ~sqrt(n)-sized labels — fine at n <= ~5000, minutes at 20000.
+		cfg.Scale = 0.005
+		cfg.Oracle = policy
+		var buf bytes.Buffer
+		for _, tbl := range runSpec(t, e12, cfg) {
+			if err := tbl.Render(&buf, "csv"); err != nil {
+				t.Fatalf("render under %q: %v", policy, err)
+			}
+		}
+		return buf.String()
+	}
+	want := render(dist.PolicyField)
+	for _, policy := range []dist.SourcePolicy{dist.PolicyTwoHop, dist.PolicyAuto, dist.PolicyAnalytic} {
+		if got := render(policy); got != want {
+			t.Fatalf("E12 tables under %q differ from the field-backed tables:\n%s\nvs\n%s", policy, got, want)
+		}
 	}
 }
 

@@ -67,6 +67,8 @@ var metricCases = []metricCase{
 	{"barbell", false, func(n int, _ *xrand.RNG) *graph.Graph { return Barbell(max(1, min(n/3, 48)), n/3) }},
 	{"rtree", false, func(n int, rng *xrand.RNG) *graph.Graph { return RandomTree(n, rng) }},
 	{"cgnp", false, func(n int, rng *xrand.RNG) *graph.Graph { return ConnectedGNP(n, 3.0/float64(n), rng) }},
+	{"plaw", false, func(n int, rng *xrand.RNG) *graph.Graph { return PowerLawAttachment(max(3, n), 2, rng) }},
+	{"ratree", false, func(n int, rng *xrand.RNG) *graph.Graph { return RandomAttachmentTree(n, rng) }},
 }
 
 // TestMetricMatchesBFSExhaustive checks every registered analytic metric

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"navaug/internal/xrand"
+)
+
+func TestPowerLawAttachmentStructure(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		for _, n := range []int{m + 1, 50, 1000} {
+			g := PowerLawAttachment(n, m, xrand.New(uint64(7*n+m)))
+			if g.N() != n {
+				t.Fatalf("m=%d n=%d: got %d nodes", m, n, g.N())
+			}
+			wantM := m * (n - m)
+			if g.M() != wantM {
+				t.Fatalf("m=%d n=%d: got %d edges, want %d", m, n, g.M(), wantM)
+			}
+			if !g.IsConnected() {
+				t.Fatalf("m=%d n=%d: graph is disconnected", m, n)
+			}
+			for u := 0; u < n; u++ {
+				if d := g.Degree(int32(u)); d < m && n > m+1 {
+					t.Fatalf("m=%d n=%d: node %d has degree %d < m", m, n, u, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPowerLawAttachmentDeterministicPerSeed(t *testing.T) {
+	a := PowerLawAttachment(500, 2, xrand.New(42))
+	b := PowerLawAttachment(500, 2, xrand.New(42))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// baDegreeProb is the stationary degree law of the Barabási–Albert model:
+// P(deg = k) = 2m(m+1) / (k(k+1)(k+2)) for k >= m.
+func baDegreeProb(m, k int) float64 {
+	return 2 * float64(m) * float64(m+1) / (float64(k) * float64(k+1) * float64(k+2))
+}
+
+// TestPowerLawAttachmentChiSquareGOF is the statistical contract of the
+// generator, mirroring the sampler goodness-of-fit tests in
+// internal/augment: the empirical degree histogram must fit the analytic
+// BA power law under a χ² test.  Degree counts are pooled across several
+// independent graphs (finite-size fluctuations average out but a
+// systematically wrong attachment rule does not), bins with expected count
+// below 5 are pooled, and the deep tail is folded into one overflow bin.
+// The significance level (z = 5, ~3e-7 one-sided) keeps false alarms
+// negligible while failing hard on non-preferential attachment — e.g.
+// uniform attachment yields an exponential degree law whose χ² here is
+// orders of magnitude over the limit.
+func TestPowerLawAttachmentChiSquareGOF(t *testing.T) {
+	const n = 20000
+	const graphs = 4
+	for _, m := range []int{1, 2} {
+		// Pool degree counts over independent graphs.
+		counts := map[int]float64{}
+		for rep := 0; rep < graphs; rep++ {
+			g := PowerLawAttachment(n, m, xrand.New(uint64(1000*m+rep)))
+			for u := 0; u < g.N(); u++ {
+				counts[g.Degree(int32(u))]++
+			}
+		}
+		samples := float64(graphs * n)
+		// Build bins k = m, m+1, ... while the expected count stays >= 5;
+		// everything beyond (including the power-law tail mass) pools into
+		// one overflow bin.
+		chi2 := 0.0
+		bins := 0
+		tailProb := 1.0
+		tailObs := samples
+		for k := m; ; k++ {
+			p := baDegreeProb(m, k)
+			if p*samples < 5 || tailProb-p < 1e-12 {
+				break
+			}
+			obs := counts[k]
+			exp := p * samples
+			diff := obs - exp
+			chi2 += diff * diff / exp
+			bins++
+			tailProb -= p
+			tailObs -= obs
+		}
+		if exp := tailProb * samples; exp >= 5 {
+			diff := tailObs - exp
+			chi2 += diff * diff / exp
+			bins++
+		}
+		if bins < 3 {
+			t.Fatalf("m=%d: degenerate binning (%d bins)", m, bins)
+		}
+		if limit := chiSquareQuantileGen(bins-1, 5); chi2 > limit {
+			t.Fatalf("m=%d: χ² = %.1f over %d bins exceeds %.1f — degree distribution does not match the BA power law",
+				m, chi2, bins, limit)
+		}
+	}
+}
+
+// chiSquareQuantileGen approximates the upper quantile of the χ²
+// distribution with df degrees of freedom via the Wilson–Hilferty
+// transform; z is the standard-normal quantile of the significance level.
+func chiSquareQuantileGen(df int, z float64) float64 {
+	d := float64(df)
+	c := 2.0 / (9.0 * d)
+	x := 1 - c + z*math.Sqrt(c)
+	return d * x * x * x
+}

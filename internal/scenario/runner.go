@@ -62,10 +62,11 @@ type graphEntry struct {
 	once   sync.Once
 	bg     *BuiltGraph
 	fields *dist.FieldCache
-	// metric is the resolved analytic distance source (nil when the family
-	// has none or the config disables analytic routing); cells of this
-	// graph steer by it instead of BFS fields when present.
-	metric dist.Source
+	// source is the shared distance source the Oracle policy resolved for
+	// this graph — an analytic metric or a 2-hop-cover oracle (nil when
+	// the policy settled on per-target BFS fields); cells of this graph
+	// steer by it instead of BFS fields when present.
+	source dist.Source
 	err    error
 }
 
@@ -200,7 +201,7 @@ func (r *Runner) runSpecCells(spec Spec, cs []Cell, sem chan struct{}, done *ato
 // caches and runs the estimation on the engine.
 func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 	gkey := graphKey(cell.Graph)
-	bg, fields, metric, err := r.builtGraph(gkey, cell.Graph)
+	bg, fields, source, err := r.builtGraph(gkey, cell.Graph)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +209,7 @@ func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields, metric))
+	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields, source))
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", cell.Graph.Family, cell.Scheme.Key, err)
 	}
@@ -221,7 +222,7 @@ func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
 // base pairs/trials, the Config overrides, and the precision target.  In
 // adaptive mode the first batch is half the base trials (the target decides
 // where between that floor and MaxTrials a pair actually stops).
-func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache, metric dist.Source) sim.Config {
+func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache, source dist.Source) sim.Config {
 	pairs, trials := cell.Pairs, cell.Trials
 	if r.cfg.Pairs > 0 {
 		pairs = r.cfg.Pairs
@@ -238,12 +239,13 @@ func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache, 
 		Seed:                r.cfg.Seed ^ hash64(gkey),
 		FixedPairs:          cell.FixedPairs,
 		IncludeExtremalPair: true,
-		// An analytic metric replaces the field cache entirely: O(1) memory
-		// per distance query and no per-target BFS.  Results are identical
-		// either way (the metric equals BFS by the gen property tests).
-		DistSource: metric,
+		// A shared source (analytic metric or 2-hop oracle) replaces the
+		// field cache entirely: O(1)-ish memory per distance query and no
+		// per-target BFS.  Results are identical either way (every tier is
+		// exact; see the disttest conformance suite).
+		DistSource: source,
 	}
-	if metric == nil {
+	if source == nil {
 		c.DistFields = fields
 	}
 	target := r.cfg.Precision
@@ -290,19 +292,39 @@ func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.Field
 		e.bg = bg
 		// Bounded per-graph cache: pair sets are seeded per graph, so the
 		// same handful of targets recurs across every scheme and scenario
-		// measuring this instance.  Lazy — graphs routed through an analytic
-		// metric never compute a field.
+		// measuring this instance.  Lazy — graphs routed through a shared
+		// source never compute a field.
 		e.fields = dist.NewFieldCache(bg.G, 64)
-		if !r.cfg.NoAnalytic {
-			e.metric = bg.Metric
-			if e.metric == nil {
-				if m, ok := gen.MetricFor(bg.G); ok {
-					e.metric = m
-				}
+		// Resolve the distance tier once per graph under the run's Oracle
+		// policy: analytic metric, 2-hop-cover oracle, or nil for fields.
+		metric := bg.Metric
+		if metric == nil {
+			if m, ok := gen.MetricFor(bg.G); ok {
+				metric = m
 			}
 		}
+		oracleStart := time.Now()
+		e.source = r.cfg.Oracle.Resolve(bg.G, metric)
+		if th, ok := e.source.(*dist.TwoHop); ok {
+			r.oracleProgress(ref, th, time.Since(oracleStart))
+		}
 	})
-	return e.bg, e.fields, e.metric, e.err
+	return e.bg, e.fields, e.source, e.err
+}
+
+// oracleProgress reports a built 2-hop oracle's cost on the progress
+// stream: the one-off label build time and the label-size statistics that
+// dominate its memory footprint.  (Progress is stderr-only diagnostics;
+// report tables stay byte-identical across oracle policies.)
+func (r *Runner) oracleProgress(ref GraphRef, th *dist.TwoHop, took time.Duration) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	fmt.Fprintf(r.cfg.Progress, "[oracle %6.1fs] %s n=%d: 2-hop labels built in %.2fs (avg %.1f, max %d, %.1f MB)\n",
+		time.Since(r.start).Seconds(), ref.Family, ref.N, took.Seconds(),
+		th.AvgLabel(), th.MaxLabel(), float64(th.MemoryBytes())/1e6)
 }
 
 // prepared returns the shared prepared instance for (graph, scheme),

@@ -56,11 +56,17 @@ type Config struct {
 	// MaxTrials caps the per-pair budget in adaptive mode
 	// (default 8× the cell's base trials).
 	MaxTrials int
-	// NoAnalytic forces BFS-field-backed distances even on graphs whose
-	// family has a closed-form analytic metric.  Estimates are identical
-	// either way (the metrics are property-tested against BFS), so this
-	// only trades memory and speed for an end-to-end cross-check — the CI
-	// determinism smoke compares both modes byte-for-byte.
+	// Oracle picks the distance-source tier cells steer by: auto (analytic
+	// metric, else a 2-hop-cover oracle above dist.TwoHopAutoMinNodes with
+	// a bounded label budget, else BFS fields), analytic, twohop or field.
+	// Estimates are identical under every policy (all tiers are exact and
+	// pinned to BFS by the disttest conformance suite), so the policy only
+	// trades build time, query time and memory — the CI determinism smoke
+	// compares the tiers byte-for-byte.  Empty means PolicyAuto.
+	Oracle dist.SourcePolicy
+	// NoAnalytic forces BFS-field-backed distances regardless of Oracle
+	// (it predates the Oracle knob and is kept as the CLI cross-check
+	// toggle; it is exactly Oracle = PolicyField).
 	NoAnalytic bool
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
@@ -78,6 +84,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = DefaultConfig().Seed
+	}
+	if c.Oracle == "" {
+		c.Oracle = dist.PolicyAuto
+	}
+	if c.NoAnalytic {
+		c.Oracle = dist.PolicyField
 	}
 	return c
 }

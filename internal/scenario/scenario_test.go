@@ -235,3 +235,42 @@ func TestProgressOutput(t *testing.T) {
 		t.Fatalf("progress lines carry no spec id: %s", buf.String())
 	}
 }
+
+// TestSweepCellFilterSinglePointGroupSkipsFit pins the graceful-degradation
+// contract of filtered sweeps: a (family, scheme) group reduced to one size
+// — a CellFilter cap falling below the second scaled size, or an extreme
+// Config.Scale — gets no fit row instead of failing the whole spec after
+// every cell has been measured.
+func TestSweepCellFilterSinglePointGroupSkipsFit(t *testing.T) {
+	spec := Sweep{
+		ID:       "FILT",
+		Title:    "filtered sweep",
+		Claim:    "testing only",
+		Families: []Family{GraphFamily("path", func(n int, _ *xrand.RNG) (*graph.Graph, error) { return gen.Path(n), nil })},
+		Sizes:    []int{3200, 6400},
+		Schemes:  []SchemeRef{Scheme(augment.NewUniformScheme()), Scheme(augment.NewNoAugmentation())},
+		Pairs:    2,
+		Trials:   1,
+		// Keep both sizes for uniform but only the first for none.
+		CellFilter: func(_, schemeKey string, n int) bool {
+			return schemeKey == "uniform" || n <= 64
+		},
+		DetailTitle: "FILT: detail",
+		FitTitle:    "FILT: fits",
+	}.Spec()
+	r := NewRunner(Config{Seed: 5, Scale: 0.02, Workers: 2})
+	defer r.Close()
+	tables, err := r.RunSpec(spec)
+	if err != nil {
+		t.Fatalf("filtered sweep failed: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want detail + fits", len(tables))
+	}
+	if rows := len(tables[0].Rows); rows != 3 {
+		t.Fatalf("detail has %d rows, want 3 (2 uniform sizes + 1 filtered none size)", rows)
+	}
+	if rows := len(tables[1].Rows); rows != 1 {
+		t.Fatalf("fit table has %d rows, want 1 (the single-point group is skipped)", rows)
+	}
+}

@@ -51,6 +51,13 @@ type Sweep struct {
 	Schemes []SchemeRef
 	// Pairs and Trials are the per-cell base budget.
 	Pairs, Trials int
+	// CellFilter, when non-nil, keeps only the (family, scheme, size)
+	// combinations it returns true for; n is the scaled size.  Sweeps use
+	// it to cap individual families or schemes below the full size range
+	// (e.g. E12 stops expander-like families where 2-hop labels grow
+	// ~sqrt(n) while tree-like families continue to n = 2^20).  A group
+	// left with fewer than two sizes simply gets no fit-table row.
+	CellFilter func(family, schemeKey string, n int) bool
 	// Precision is the cells' default adaptive CI target (0 = fixed budget
 	// unless the Config sets one).
 	Precision float64
@@ -79,6 +86,9 @@ func (s Sweep) Spec() Spec {
 			for _, fam := range s.Families {
 				for _, scheme := range s.Schemes {
 					for _, n := range sizes {
+						if s.CellFilter != nil && !s.CellFilter(fam.Name, scheme.Key, n) {
+							continue
+						}
 						cells = append(cells, Cell{
 							Graph:     fam.Ref(n),
 							Scheme:    scheme,
@@ -118,7 +128,8 @@ func (s Sweep) render(res []CellResult) ([]*report.Table, error) {
 	if s.FitTitle != "" {
 		fits := report.NewTable(s.FitTitle, "family", "scheme", "exponent", "R2", "points")
 		// res is family-major then scheme then size, so each (family, scheme)
-		// group is a contiguous run of len(sizes) cells.
+		// group is a contiguous run of cells — of variable length once a
+		// CellFilter has dropped sizes, hence the key-change boundary scan.
 		group := 0
 		for group < len(res) {
 			famKey, schemeKey := res[group].Cell.Graph.Family, res[group].Cell.Scheme.Key
@@ -129,17 +140,25 @@ func (s Sweep) render(res []CellResult) ([]*report.Table, error) {
 				ys = append(ys, res[end].Est.GreedyDiameter)
 				end++
 			}
-			fit, err := stats.PowerLaw(xs, ys)
-			if err != nil {
-				return nil, fmt.Errorf("%s: fitting %s/%s: %w", s.ID, famKey, schemeKey, err)
+			// A group collapsed to one point — extreme Config.Scale values,
+			// or a CellFilter cap falling below the second size — has no
+			// fittable shape; skip its row rather than failing the whole
+			// spec after every cell has already been measured.
+			if len(xs) >= 2 {
+				fit, err := stats.PowerLaw(xs, ys)
+				if err != nil {
+					return nil, fmt.Errorf("%s: fitting %s/%s: %w", s.ID, famKey, schemeKey, err)
+				}
+				fits.AddRow(famKey, res[group].Est.Scheme, fit.Exponent, fit.R2, fit.N)
 			}
-			fits.AddRow(famKey, res[group].Est.Scheme, fit.Exponent, fit.R2, fit.N)
 			group = end
 		}
-		if s.FitNote != "" {
-			fits.AddNote("%s", s.FitNote)
+		if len(fits.Rows) > 0 {
+			if s.FitNote != "" {
+				fits.AddNote("%s", s.FitNote)
+			}
+			tables = append(tables, fits)
 		}
-		tables = append(tables, fits)
 	}
 	if s.Finalize != nil {
 		s.Finalize(res, tables)

@@ -68,6 +68,14 @@ type Config struct {
 	// per scheme.  Fields are deterministic, so sharing never affects
 	// results.
 	DistFields *dist.FieldCache
+	// Policy resolves the distance source when neither DistSource nor
+	// DistFields is supplied: the engine applies it to the graph (looking
+	// up the family's analytic metric via gen.MetricFor) exactly as the
+	// scenario runner does, so one-shot estimations honour the same
+	// -oracle knob.  Empty keeps the legacy behaviour (per-target BFS
+	// fields).  The policy never affects results, only cost: every tier
+	// answers exact BFS distances.
+	Policy dist.SourcePolicy
 	// TargetCI, when positive, switches the run to streaming adaptive
 	// estimation: each pair keeps running deterministic trial batches until
 	// the 95% CI half-width of its mean step count is at most

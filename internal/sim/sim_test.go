@@ -10,6 +10,7 @@ import (
 	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/graph/gen"
+	"navaug/internal/xrand"
 )
 
 func TestEstimateNoAugmentationEqualsDistance(t *testing.T) {
@@ -468,6 +469,43 @@ func TestDistSourceMatchesFieldBacked(t *testing.T) {
 		fp, ap := fieldBacked.PairStats[i], analytic.PairStats[i]
 		if fp.Dist != ap.Dist || fp.Steps.Mean != ap.Steps.Mean {
 			t.Fatalf("pair %d diverged between source kinds: %+v vs %+v", i, fp, ap)
+		}
+	}
+}
+
+// TestEstimatePolicyEquivalence pins sim.Config.Policy: the same estimation
+// through per-target BFS fields, the 2-hop-cover oracle, the auto resolver
+// and (on a family with a closed form) the analytic metric must agree on
+// every number — all tiers are exact, so the policy is a pure cost knob.
+func TestEstimatePolicyEquivalence(t *testing.T) {
+	rng := xrand.New(31)
+	graphs := []*graph.Graph{
+		gen.PowerLawAttachment(600, 2, rng), // no analytic metric: twohop vs fields
+		gen.Torus2D(16, 16),                 // analytic metric available
+	}
+	for _, g := range graphs {
+		var want *Estimate
+		for _, policy := range []dist.SourcePolicy{dist.PolicyField, dist.PolicyTwoHop, dist.PolicyAuto, dist.PolicyAnalytic} {
+			cfg := Config{Pairs: 6, Trials: 3, Seed: 9, IncludeExtremalPair: true, Policy: policy}
+			est, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg)
+			if err != nil {
+				t.Fatalf("%v under %q: %v", g, policy, err)
+			}
+			if want == nil {
+				want = est
+				continue
+			}
+			if est.GreedyDiameter != want.GreedyDiameter || est.MeanSteps != want.MeanSteps ||
+				est.CI95 != want.CI95 || est.MeanLongLinks != want.MeanLongLinks || est.Samples != want.Samples {
+				t.Fatalf("%v: estimate under %q diverges from the field-backed estimate:\n%+v\nvs\n%+v",
+					g, policy, est, want)
+			}
+			for i := range want.PairStats {
+				if est.PairStats[i].Dist != want.PairStats[i].Dist {
+					t.Fatalf("%v: pair %d distance %d under %q, want %d",
+						g, i, est.PairStats[i].Dist, policy, want.PairStats[i].Dist)
+				}
+			}
 		}
 	}
 }
