@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// appendBenchRecord merges one record into the named array of a JSON bench
+// file (creating the file as `{key: [record]}` when absent), so repeated
+// snapshot/loadgen runs accumulate into a single BENCH_serve.json instead
+// of clobbering each other.
+func appendBenchRecord(path, key string, record any) error {
+	doc := map[string]json.RawMessage{}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("bench file %s is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var arr []json.RawMessage
+	if raw, ok := doc[key]; ok {
+		if err := json.Unmarshal(raw, &arr); err != nil {
+			return fmt.Errorf("bench file %s key %q is not an array: %w", path, key, err)
+		}
+	}
+	rec, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	arr = append(arr, rec)
+	merged, err := json.Marshal(arr)
+	if err != nil {
+		return err
+	}
+	doc[key] = merged
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"navaug/internal/serve"
+)
+
+func runLoadgen(c *command, args []string) error {
+	fs := newFlagSet(c)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the navsim serve instance")
+	mode := fs.String("mode", "dist", "query mix: dist or route")
+	rate := fs.Float64("rate", 0, "target request rate in req/s (open loop, wrk2-style); 0 = closed loop at max throughput")
+	duration := fs.Duration("duration", 5*time.Second, "measured window")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup traffic before the window")
+	conns := fs.Int("conns", 4, "concurrent client connections")
+	batch := fs.Int("batch", 1, "pairs per request (1 = GET endpoints, >1 = POST batches)")
+	keys := fs.String("keys", "uniform", "query key distribution: uniform or zipf")
+	zipfExp := fs.Float64("zipf", 1.1, "zipf exponent when -keys zipf")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	scheme := fs.String("scheme", "", "frozen scheme for route mode (default: first packed)")
+	draw := fs.Int("draw", 0, "frozen draw index for route mode")
+	out := fs.String("out", "", "append the result record to this JSON bench file (e.g. BENCH_serve.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		BaseURL:  *url,
+		Mode:     *mode,
+		Rate:     *rate,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Conns:    *conns,
+		Batch:    *batch,
+		KeyDist:  *keys,
+		ZipfExp:  *zipfExp,
+		Seed:     *seed,
+		Scheme:   *scheme,
+		Draw:     *draw,
+	})
+	if err != nil {
+		return err
+	}
+
+	loop := "closed loop"
+	if res.OpenLoop {
+		loop = fmt.Sprintf("open loop @ %.0f req/s", res.TargetRate)
+	}
+	fmt.Printf("target:      %s (%s, n=%d, oracle %s)\n", *url, res.ServerFamily, res.ServerN, res.ServerOracle)
+	fmt.Printf("workload:    %s, %s keys, batch %d, %d conns, %s, %.1fs\n",
+		res.Mode, res.KeyDist, res.Batch, res.Conns, loop, res.DurationS)
+	fmt.Printf("throughput:  %.0f req/s = %.0f %s-queries/s (%d requests, %d errors)\n",
+		res.RequestsPerS, res.QueriesPerS, res.Mode, res.Requests, res.Errors)
+	fmt.Printf("latency ms:  p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  max %.3f  mean %.3f\n",
+		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.P999, res.Latency.Max, res.Latency.Mean)
+	if res.ServerPeakRSS > 0 {
+		fmt.Printf("server rss:  %.1f MB peak\n", float64(res.ServerPeakRSS)/1e6)
+	}
+	if *out != "" {
+		if err := appendBenchRecord(*out, "loadgen", res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,34 +2,14 @@
 // including the E11 large-n mode that sweeps million-node tori and
 // hypercubes through analytic O(1) distance oracles, and the E12
 // universality sweep that reaches million-node unstructured graphs through
-// the exact 2-hop-cover oracle) and ad-hoc greedy-diameter estimations
-// through the scenario engine.
+// the exact 2-hop-cover oracle), ad-hoc greedy-diameter estimations, and
+// the routing-as-a-service mode: `snapshot` freezes built oracles and
+// augmentation tables into a .navsnap file, `serve` answers distance and
+// routing queries over HTTP from such a file with no rebuild, and
+// `loadgen` benchmarks a running server.
 //
-// Usage:
-//
-//	navsim list [-format text|md]
-//	    List the available experiments with their claims; the md format is
-//	    what EXPERIMENTS.md is generated from.
-//
-//	navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json]
-//	           [-precision 0.1] [-workers N] [-parallel N] [-oracle auto|analytic|twohop|field]
-//	           [-no-analytic] [-quiet]
-//	    Run the selected experiments (default: all) on one shared scenario
-//	    runner and print the report.  -precision enables streaming adaptive
-//	    estimation; -workers/-parallel only change wall-clock, never results.
-//	    -oracle picks the distance-source tier greedy routing steers by
-//	    (auto: analytic metric, else a 2-hop-cover oracle on large graphs
-//	    within a label budget, else BFS fields); every tier is exact, so the
-//	    report is byte-identical under every policy — only build time, query
-//	    time and memory change.  -no-analytic is the legacy spelling of
-//	    -oracle field.  Progress goes to stderr, the report to stdout.
-//
-//	navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6]
-//	           [-precision 0.1] [-seed N]
-//	    Estimate the greedy diameter of one (family, scheme) combination.
-//
-//	navsim exact -family path -n 400 -scheme uniform [-seed N]
-//	    Compute the exact greedy diameter (no sampling) for small instances.
+// Run `navsim <command> -h` for any command's flags; `navsim help` lists
+// the commands.
 package main
 
 import (
@@ -46,47 +26,113 @@ import (
 	"navaug/internal/sim"
 )
 
+// command is one navsim subcommand.  Every command registers its flags on
+// the FlagSet newFlagSet builds from this struct, so registration, -h
+// output and the global help all render from the same table.
+type command struct {
+	name     string
+	synopsis string // one-line flag sketch for the command list
+	summary  string // one-sentence description
+	run      func(c *command, args []string) error
+}
+
+var commands = []*command{
+	{
+		name:     "list",
+		synopsis: "[-format text|md]",
+		summary:  "List the available experiments with their claims (md generates EXPERIMENTS.md).",
+		run:      runList,
+	},
+	{
+		name: "run",
+		synopsis: "[-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json] [-precision 0.1]\n" +
+			"               [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N]\n" +
+			"               [-oracle auto|analytic|twohop|field] [-no-analytic] [-quiet]",
+		summary: "Run the selected experiments (default: all) and print the report.",
+		run:     runExperiments,
+	},
+	{
+		name: "estimate",
+		synopsis: "-family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1]\n" +
+			"               [-seed N] [-workers N] [-oracle auto|analytic|twohop|field]",
+		summary: "Estimate the greedy diameter of one (family, scheme) combination.",
+		run:     runEstimate,
+	},
+	{
+		name:     "exact",
+		synopsis: "-family path -n 400 -scheme uniform [-seed N]",
+		summary:  "Compute the exact greedy diameter (no sampling) for small instances.",
+		run:      runExact,
+	},
+	{
+		name: "snapshot",
+		synopsis: "-family powerlaw-tree -n 1048576 -o graph.navsnap [-seed N] [-scheme ball,uniform]\n" +
+			"               [-draws K] [-oracle auto|analytic|twohop|field] [-bench-out BENCH_serve.json]",
+		summary: "Build a graph, its distance oracle and frozen augmentations, and write a .navsnap.",
+		run:     runSnapshot,
+	},
+	{
+		name:     "serve",
+		synopsis: "-snapshot graph.navsnap [-addr 127.0.0.1:8080] [-workers N] [-timeout 2s] [-max-batch N]",
+		summary:  "Serve distance and greedy-routing queries over HTTP from a snapshot (no rebuild).",
+		run:      runServe,
+	},
+	{
+		name: "loadgen",
+		synopsis: "[-url http://127.0.0.1:8080] [-mode dist|route] [-rate R] [-duration 5s] [-conns N]\n" +
+			"               [-batch N] [-keys uniform|zipf] [-zipf 1.1] [-seed N] [-out BENCH_serve.json]",
+		summary: "Benchmark a running navsim serve instance and record throughput and latency.",
+		run:     runLoadgen,
+	},
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "list":
-		err = runList(os.Args[2:])
-	case "run":
-		err = runExperiments(os.Args[2:])
-	case "estimate":
-		err = runEstimate(os.Args[2:])
-	case "exact":
-		err = runExact(os.Args[2:])
-	case "-h", "--help", "help":
+	name := os.Args[1]
+	if name == "-h" || name == "--help" || name == "help" {
 		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "navsim: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		return
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "navsim: %v\n", err)
-		os.Exit(1)
+	for _, c := range commands {
+		if c.name != name {
+			continue
+		}
+		if err := c.run(c, os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "navsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
+	fmt.Fprintf(os.Stderr, "navsim: unknown command %q\n", name)
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  navsim list [-format text|md]
-  navsim run [-exp E1,E7] [-scale 1.0] [-seed N] [-format text|csv|md|json] [-precision 0.1]
-             [-workers N] [-parallel N] [-pairs N] [-trials N] [-max-trials N]
-             [-oracle auto|analytic|twohop|field] [-no-analytic] [-quiet]
-  navsim estimate -family grid -n 4096 -scheme ball [-pairs 12] [-trials 6] [-precision 0.1] [-seed N]
-             [-workers N] [-oracle auto|analytic|twohop|field]
-  navsim exact -family path -n 400 -scheme uniform [-seed N]`)
+	fmt.Fprintln(os.Stderr, "usage: navsim <command> [flags]")
+	fmt.Fprintln(os.Stderr)
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  navsim %s %s\n      %s\n", c.name, c.synopsis, c.summary)
+	}
+	fmt.Fprintln(os.Stderr, "\nRun 'navsim <command> -h' for a command's full flag reference.")
 }
 
-func runList(args []string) error {
-	fs := flag.NewFlagSet("list", flag.ExitOnError)
+// newFlagSet builds the command's FlagSet with the unified -h output:
+// usage line, summary, then the registered flags.
+func newFlagSet(c *command) *flag.FlagSet {
+	fs := flag.NewFlagSet("navsim "+c.name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: navsim %s %s\n\n%s\n\nflags:\n", c.name, c.synopsis, c.summary)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+func runList(c *command, args []string) error {
+	fs := newFlagSet(c)
 	format := fs.String("format", "text", "output format: text or md")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,8 +158,8 @@ func runList(args []string) error {
 	return nil
 }
 
-func runExperiments(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+func runExperiments(c *command, args []string) error {
+	fs := newFlagSet(c)
 	expList := fs.String("exp", "", "comma-separated experiment ids (default: all)")
 	scale := fs.Float64("scale", 1.0, "size scale factor (1.0 = EXPERIMENTS.md sizes)")
 	seed := fs.Uint64("seed", experiments.DefaultConfig().Seed, "random seed")
@@ -171,8 +217,8 @@ func runExperiments(args []string) error {
 	return err
 }
 
-func runEstimate(args []string) error {
-	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+func runEstimate(c *command, args []string) error {
+	fs := newFlagSet(c)
 	family := fs.String("family", "grid", "graph family ("+strings.Join(core.GraphFamilies(), ", ")+")")
 	n := fs.Int("n", 4096, "approximate graph size")
 	schemeName := fs.String("scheme", "ball", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")
@@ -226,8 +272,8 @@ func runEstimate(args []string) error {
 	return nil
 }
 
-func runExact(args []string) error {
-	fs := flag.NewFlagSet("exact", flag.ExitOnError)
+func runExact(c *command, args []string) error {
+	fs := newFlagSet(c)
 	family := fs.String("family", "path", "graph family ("+strings.Join(core.GraphFamilies(), ", ")+")")
 	n := fs.Int("n", 400, "approximate graph size (exact computation is cubic; keep n small)")
 	schemeName := fs.String("scheme", "uniform", "augmentation scheme ("+strings.Join(core.SchemeNames(), ", ")+")")

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"navaug/internal/serve"
+	"navaug/internal/snapshot"
+)
+
+func runServe(c *command, args []string) error {
+	fs := newFlagSet(c)
+	snapPath := fs.String("snapshot", "", "path to the .navsnap file to serve (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "query pool size (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request timeout")
+	maxBatch := fs.Int("max-batch", 8192, "max pairs per batched request")
+	fieldCache := fs.Int("field-cache", 64, "BFS field cache capacity (only used when the snapshot packs no O(1) tier)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapPath == "" {
+		fs.Usage()
+		return fmt.Errorf("serve requires -snapshot")
+	}
+
+	start := time.Now()
+	snap, err := snapshot.ReadFile(*snapPath)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(snap, serve.Options{
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		FieldCacheSize: *fieldCache,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "navsim serve: loaded %s (%v) in %.3fs; listening on http://%s\n",
+		*snapPath, snap.Graph, time.Since(start).Seconds(), ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "navsim serve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh // Serve has returned ErrServerClosed by now
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -325,6 +326,76 @@ func (t *TwoHop) Label(v graph.NodeID) (hubs []graph.NodeID, dists []int32) {
 		hubs[i-lo] = t.order[t.hubs[i]]
 	}
 	return hubs, t.dists[lo:hi]
+}
+
+// Raw exposes the oracle's packed arrays as shared, read-only slices: the
+// hub order (rank -> node), the CSR index (length N+1), and the parallel
+// hub-rank/distance arrays.  Callers must not modify them.  This is the
+// serialisation entry point: the snapshot writer emits the arrays verbatim
+// and TwoHopFromRaw reconstructs an identical oracle without re-running the
+// pruned-labeling build.
+func (t *TwoHop) Raw() (order []graph.NodeID, index []int64, hubs, dists []int32) {
+	return t.order, t.index, t.hubs, t.dists
+}
+
+// TwoHopFromRaw reconstructs an oracle from arrays previously obtained via
+// Raw, taking ownership of the slices (they may alias a read-only snapshot
+// buffer).  It verifies every structural invariant the build establishes —
+// order is a permutation of the nodes, the index is monotone from 0 and
+// consistent with the label arrays, each node's hub ranks are strictly
+// increasing and in range, and distances are non-negative — so corrupted
+// or hostile serialised labels are rejected in O(n + entries).  Distance
+// *correctness* (that the labels form an exact 2-hop cover of this graph)
+// is not re-derivable cheaply; snapshot checksums guard integrity in
+// transit and the conformance suite pins freshly-written snapshots to BFS.
+func TwoHopFromRaw(n int, order []graph.NodeID, index []int64, hubs, dists []int32) (*TwoHop, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dist: negative node count %d", n)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dist: hub order has %d entries, want n = %d", len(order), n)
+	}
+	if len(index) != n+1 {
+		return nil, fmt.Errorf("dist: label index has length %d, want n+1 = %d", len(index), n+1)
+	}
+	seen := make([]bool, n)
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("dist: hub order entry %d = %d out of range [0,%d)", i, v, n)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("dist: hub order repeats node %d", v)
+		}
+		seen[v] = true
+	}
+	if index[0] != 0 {
+		return nil, fmt.Errorf("dist: label index starts at %d, want 0", index[0])
+	}
+	if index[n] != int64(len(hubs)) || len(hubs) != len(dists) {
+		return nil, fmt.Errorf("dist: label index promises %d entries, arrays hold %d hubs / %d dists",
+			index[n], len(hubs), len(dists))
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := index[v], index[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("dist: label index decreases at node %d (%d > %d)", v, lo, hi)
+		}
+		prev := int32(-1)
+		for i := lo; i < hi; i++ {
+			h := hubs[i]
+			if h < 0 || int(h) >= n {
+				return nil, fmt.Errorf("dist: node %d references hub rank %d out of range [0,%d)", v, h, n)
+			}
+			if h <= prev {
+				return nil, fmt.Errorf("dist: node %d hub ranks not strictly increasing (%d after %d)", v, h, prev)
+			}
+			prev = h
+			if dists[i] < 0 {
+				return nil, fmt.Errorf("dist: node %d has negative label distance %d", v, dists[i])
+			}
+		}
+	}
+	return &TwoHop{n: int32(n), order: order, index: index, hubs: hubs, dists: dists}, nil
 }
 
 // Entries returns the total number of label entries across all nodes.

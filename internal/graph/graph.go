@@ -144,6 +144,80 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return b.Build()
 }
 
+// RawCSR exposes the graph's CSR arrays as shared, read-only slices:
+// offsets has length N+1 and adj has length 2·M, with the neighbours of
+// node i (sorted increasing) at adj[offsets[i]:offsets[i+1]].  Callers must
+// not modify either slice.  This is the serialisation entry point — the
+// snapshot writer emits the arrays verbatim and FromCSR reconstructs the
+// graph from them without re-running the Builder's sort/dedup pipeline.
+func (g *Graph) RawCSR() (offsets []int64, adj []int32) {
+	return g.offsets, g.adj
+}
+
+// FromCSR reconstructs a Graph directly from CSR arrays, taking ownership
+// of the slices (callers must not modify them afterwards; they may alias a
+// read-only snapshot buffer).  The arrays must satisfy every invariant
+// Build establishes, and FromCSR verifies all of them — offsets monotone
+// from 0 with len(adj) entries total, neighbour ids in range, each
+// adjacency list strictly increasing (sorted, no duplicates, no
+// self-loops), and edge symmetry (v in adj[u] iff u in adj[v]) — so a
+// corrupted or hostile serialised graph is rejected instead of breaking
+// BFS/routing invariants later.  The total cost is O(n + m·log deg).
+func FromCSR(name string, n int, offsets []int64, adj []int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: offsets has length %d, want n+1 = %d", len(offsets), n+1)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets[n] = %d, adjacency has %d entries", offsets[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd adjacency length %d (undirected graphs store each edge twice)", len(adj))
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: offsets decrease at node %d (%d > %d)", u, lo, hi)
+		}
+		prev := int32(-1)
+		for _, v := range adj[lo:hi] {
+			if v < 0 || v >= int32(n) {
+				return nil, fmt.Errorf("graph: neighbour %d of node %d out of range [0,%d)", v, u, n)
+			}
+			if v == int32(u) {
+				return nil, fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: adjacency of node %d not strictly increasing (%d after %d)", u, v, prev)
+			}
+			prev = v
+		}
+	}
+	g := &Graph{
+		n:       int32(n),
+		m:       int64(len(adj)) / 2,
+		offsets: offsets,
+		adj:     adj,
+		name:    name,
+	}
+	// Symmetry: every stored arc must have its reverse.  Arc counts already
+	// match (len(adj) is even and every arc is checked), so one direction
+	// suffices.
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(v, u) {
+				return nil, fmt.Errorf("graph: asymmetric edge %d->%d has no reverse", u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return int(g.n) }
 

@@ -283,7 +283,7 @@ func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.Field
 	e := v.(*graphEntry)
 	e.once.Do(func() {
 		r.stats.graphsBuilt.Add(1)
-		rng := xrand.New(r.cfg.Seed ^ hash64(ref.Family) ^ (uint64(ref.N)+1)*0x9e3779b97f4a7c15)
+		rng := xrand.New(GraphSeed(r.cfg.Seed, ref.Family, ref.N))
 		bg, err := ref.Build(ref.N, rng)
 		if err != nil {
 			e.err = fmt.Errorf("building %s n=%d: %w", ref.Family, ref.N, err)

@@ -279,3 +279,13 @@ func hash64(s string) uint64 {
 // Hash64 exposes the stable string hash used for seed derivation, for specs
 // that need their own seed streams (e.g. per-(n, matrix) labelings).
 func Hash64(s string) uint64 { return hash64(s) }
+
+// GraphSeed derives the deterministic builder seed a run with the given
+// run seed uses for the (family, n) graph instance.  It is exported so
+// out-of-band builders — the snapshot writer in particular — construct the
+// exact instance a live run at that seed would build: a snapshot of
+// (family, n, seed) then answers for the same graph the scenario engine
+// measures.
+func GraphSeed(seed uint64, family string, n int) uint64 {
+	return seed ^ hash64(family) ^ (uint64(n)+1)*0x9e3779b97f4a7c15
+}

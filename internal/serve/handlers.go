@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"navaug/internal/augment"
+	"navaug/internal/graph"
+	"navaug/internal/route"
+)
+
+// httpError writes a JSON error body and bumps the error counter.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// nodeParam parses one node-id query parameter and range-checks it.
+func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if v < 0 || v >= int64(s.g.N()) {
+		return 0, fmt.Errorf("parameter %q = %d out of range [0,%d)", name, v, s.g.N())
+	}
+	return graph.NodeID(v), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"family":   s.snap.Meta.Family,
+		"graph":    s.g.Name(),
+		"n":        s.g.N(),
+		"m":        s.g.M(),
+		"oracle":   s.oracle(),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+type distBatchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+type distBatchResponse struct {
+	Dists []int32 `json:"dists"`
+}
+
+// handleDist answers exact distance queries: GET for one (u, v) pair, POST
+// for a batch.  A batch runs as a single pool task, which is what lets a
+// one-CPU deployment amortise HTTP overhead across thousands of oracle
+// lookups per request.
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		u, err := s.nodeParam(r, "u")
+		if err == nil {
+			var v graph.NodeID
+			v, err = s.nodeParam(r, "v")
+			if err == nil {
+				var d int32
+				if poolErr := s.pool.Do(r.Context(), func(*Shard) { d = s.distance(u, v) }); poolErr != nil {
+					s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", poolErr)
+					return
+				}
+				s.distQueries.Add(1)
+				writeJSON(w, map[string]any{"u": u, "v": v, "dist": d})
+				return
+			}
+		}
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+	case http.MethodPost:
+		var req distBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
+			return
+		}
+		if len(req.Pairs) == 0 || len(req.Pairs) > s.opts.MaxBatch {
+			s.httpError(w, http.StatusBadRequest, "batch of %d pairs out of range [1,%d]", len(req.Pairs), s.opts.MaxBatch)
+			return
+		}
+		n := int32(s.g.N())
+		for i, p := range req.Pairs {
+			if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+				s.httpError(w, http.StatusBadRequest, "pair %d = (%d,%d) out of range [0,%d)", i, p[0], p[1], n)
+				return
+			}
+		}
+		resp := distBatchResponse{Dists: make([]int32, len(req.Pairs))}
+		if err := s.pool.Do(r.Context(), func(*Shard) {
+			for i, p := range req.Pairs {
+				resp.Dists[i] = s.distance(p[0], p[1])
+			}
+		}); err != nil {
+			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+			return
+		}
+		s.distQueries.Add(int64(len(req.Pairs)))
+		writeJSON(w, resp)
+	default:
+		s.httpError(w, http.StatusMethodNotAllowed, "use GET for single queries, POST for batches")
+	}
+}
+
+type routeResult struct {
+	S         graph.NodeID   `json:"s"`
+	T         graph.NodeID   `json:"t"`
+	Dist      int32          `json:"dist"`
+	Steps     int            `json:"steps"`
+	LongLinks int            `json:"long_links"`
+	Reached   bool           `json:"reached"`
+	Error     string         `json:"error,omitempty"`
+	Path      []graph.NodeID `json:"path,omitempty"`
+}
+
+type routeBatchRequest struct {
+	Pairs  [][2]int32 `json:"pairs"`
+	Scheme string     `json:"scheme"`
+	Draw   int        `json:"draw"`
+	Trace  bool       `json:"trace"`
+}
+
+// routeOne runs one deterministic greedy trial on the frozen draw.  Routing
+// errors (disconnected pair, for instance) are reported per-result, not as
+// HTTP failures, so a batch with one unreachable pair still returns the
+// other answers.
+func (s *Server) routeOne(sh *Shard, inst routeInstance, from, to graph.NodeID, trace bool) routeResult {
+	res := routeResult{S: from, T: to, Dist: s.distance(from, to)}
+	out, err := route.Greedy(s.g, inst.inst, from, to, s.targetSource(to),
+		sh.RNG, route.Options{Trace: trace, Scratch: sh.Scratch})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Steps = out.Steps
+	res.LongLinks = out.LongLinksUsed
+	res.Reached = out.Reached
+	res.Path = out.Path
+	return res
+}
+
+// routeInstance is a resolved (scheme, draw) pair: the frozen contact
+// table to route over, with the names echoed back in responses.
+type routeInstance struct {
+	scheme string
+	draw   int
+	inst   augment.Instance
+}
+
+// frozenInstance resolves a scheme name ("" = first packed) and draw index
+// against the instances pre-built in New, so the request path never
+// re-validates a contact table.
+func (s *Server) frozenInstance(scheme string, draw int) (routeInstance, error) {
+	st, err := s.snap.Scheme(scheme)
+	if err != nil {
+		return routeInstance{}, err
+	}
+	insts := s.instances[st.Name]
+	if draw < 0 || draw >= len(insts) {
+		return routeInstance{}, fmt.Errorf("scheme %s has %d draws, requested %d", st.Name, len(insts), draw)
+	}
+	return routeInstance{scheme: st.Name, draw: draw, inst: insts[draw]}, nil
+}
+
+// handleRoute runs greedy routing trials over a frozen augmentation: GET
+// for one (s, t) pair, POST for a batch sharing one scheme/draw.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		from, err := s.nodeParam(r, "s")
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		to, err := s.nodeParam(r, "t")
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		q := r.URL.Query()
+		draw := 0
+		if raw := q.Get("draw"); raw != "" {
+			if draw, err = strconv.Atoi(raw); err != nil {
+				s.httpError(w, http.StatusBadRequest, "parameter draw: %v", err)
+				return
+			}
+		}
+		inst, err := s.frozenInstance(q.Get("scheme"), draw)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		trace := q.Get("trace") == "1" || q.Get("trace") == "true"
+		var res routeResult
+		if poolErr := s.pool.Do(r.Context(), func(sh *Shard) {
+			res = s.routeOne(sh, inst, from, to, trace)
+		}); poolErr != nil {
+			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", poolErr)
+			return
+		}
+		s.routeQueries.Add(1)
+		writeJSON(w, map[string]any{"scheme": inst.scheme, "draw": inst.draw, "result": res})
+	case http.MethodPost:
+		var req routeBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
+			return
+		}
+		if len(req.Pairs) == 0 || len(req.Pairs) > s.opts.MaxBatch {
+			s.httpError(w, http.StatusBadRequest, "batch of %d pairs out of range [1,%d]", len(req.Pairs), s.opts.MaxBatch)
+			return
+		}
+		n := int32(s.g.N())
+		for i, p := range req.Pairs {
+			if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+				s.httpError(w, http.StatusBadRequest, "pair %d = (%d,%d) out of range [0,%d)", i, p[0], p[1], n)
+				return
+			}
+		}
+		inst, err := s.frozenInstance(req.Scheme, req.Draw)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		results := make([]routeResult, len(req.Pairs))
+		if err := s.pool.Do(r.Context(), func(sh *Shard) {
+			for i, p := range req.Pairs {
+				results[i] = s.routeOne(sh, inst, p[0], p[1], req.Trace)
+			}
+		}); err != nil {
+			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+			return
+		}
+		s.routeQueries.Add(int64(len(req.Pairs)))
+		writeJSON(w, map[string]any{"scheme": inst.scheme, "draw": inst.draw, "results": results})
+	default:
+		s.httpError(w, http.StatusMethodNotAllowed, "use GET for single trials, POST for batches")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	schemes := make([]string, 0, len(s.snap.Schemes))
+	for i := range s.snap.Schemes {
+		schemes = append(schemes, s.snap.Schemes[i].Name)
+	}
+	writeJSON(w, map[string]any{
+		"family":         s.snap.Meta.Family,
+		"graph":          s.g.Name(),
+		"n":              s.g.N(),
+		"m":              s.g.M(),
+		"seed":           s.snap.Meta.Seed,
+		"oracle":         s.oracle(),
+		"schemes":        schemes,
+		"workers":        s.opts.Workers,
+		"uptime_s":       time.Since(s.start).Seconds(),
+		"requests":       s.requests.Load(),
+		"dist_queries":   s.distQueries.Load(),
+		"route_queries":  s.routeQueries.Load(),
+		"errors":         s.errors.Load(),
+		"peak_rss_bytes": peakRSSBytes(),
+		"goroutines":     runtime.NumGoroutine(),
+		"cached_fields":  s.fields.Len(),
+	})
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"navaug/internal/route"
+	"navaug/internal/xrand"
+)
+
+// defaultWorkers sizes the pool at one worker per CPU: queries are pure
+// compute, so extra workers only add scratch memory and queueing noise.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Shard is the per-worker state of the query pool: a reusable routing
+// scratch and a private RNG, owned exclusively by one worker goroutine —
+// the same ownership discipline as sim.Engine's Monte Carlo workers, which
+// is what lets query handlers route with zero per-request allocation and
+// no locks on the hot path.
+type Shard struct {
+	ID      int
+	Scratch *route.Scratch
+	RNG     *xrand.RNG
+}
+
+type task struct {
+	run  func(*Shard)
+	done chan struct{}
+}
+
+// pool is a fixed-size worker pool over Shards.  Requests submit closures
+// with Do; each closure runs on exactly one worker with exclusive use of
+// that worker's shard.  Bounding the workers (rather than spawning per
+// request) keeps p99 latency stable under overload: excess requests queue
+// at the channel instead of thrashing the routing scratches.
+type pool struct {
+	tasks chan task
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// newPool starts workers goroutines, each owning a Shard sized for an
+// n-node graph.  Worker RNGs are split deterministically from seed.
+func newPool(n, workers int, seed uint64) *pool {
+	p := &pool{tasks: make(chan task, workers)}
+	rngs := xrand.New(seed).SplitN(workers)
+	for i := 0; i < workers; i++ {
+		shard := &Shard{ID: i, Scratch: route.NewScratch(n), RNG: rngs[i]}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t.run(shard)
+				close(t.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Do runs fn on some worker's shard and waits for it to finish.  It
+// returns early (without running fn) only when ctx is cancelled before a
+// worker picks the task up.
+func (p *pool) Do(ctx context.Context, fn func(*Shard)) error {
+	t := task{run: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-t.done
+	return nil
+}
+
+// Close stops the workers after the queued tasks drain.  Do must not be
+// called after Close.
+func (p *pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

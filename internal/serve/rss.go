@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// peakRSSBytes reports the process's high-water resident set size from
+// /proc/self/status (VmHWM), the same source .github/peak-rss.sh uses, so
+// serving benchmarks and CI record comparable numbers.  It returns 0 on
+// platforms without procfs.
+func peakRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

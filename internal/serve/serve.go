@@ -1,0 +1,176 @@
+// Package serve is the query front-end of the routing service: it takes a
+// loaded snapshot (see internal/snapshot) and exposes its distance oracle
+// and frozen augmented graphs over HTTP/JSON, turning the repository's
+// in-process experiment artefacts into a standing service — build once,
+// snapshot, serve many.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/healthz            liveness plus snapshot identity
+//	GET  /v1/dist?u=&v=         one exact distance
+//	POST /v1/dist               {"pairs":[[u,v],...]} batched distances
+//	GET  /v1/route?s=&t=        one greedy routing trial (scheme=, draw=,
+//	                            trace=1 optional)
+//	POST /v1/route              {"pairs":[[s,t],...],...} batched trials
+//	GET  /v1/stats              counters, snapshot meta, peak RSS
+//
+// Queries dispatch onto a fixed pool of workers, each owning a
+// route.Scratch and RNG (the sim.Engine worker discipline), so the hot
+// path is lock-free and allocation-free per routing hop.  Distances come
+// from the snapshot's O(1) tier — the analytic metric or the packed 2-hop
+// labels — and fall back to a bounded BFS field cache when the snapshot
+// packs neither.  Routing always uses the frozen contact tables, so every
+// /v1/route answer is fully deterministic and reproducible from the
+// snapshot file alone.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"navaug/internal/augment"
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/snapshot"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the query pool size; 0 means one per CPU.
+	Workers int
+	// RequestTimeout bounds each request end to end (default 2s); the
+	// handler chain is wrapped in http.TimeoutHandler.
+	RequestTimeout time.Duration
+	// MaxBatch caps the pairs accepted by the batched endpoints
+	// (default 8192): one batch is one pool task, so the cap bounds how
+	// long a single request can monopolise a worker.
+	MaxBatch int
+	// FieldCacheSize is the per-target BFS field cache capacity used only
+	// when the snapshot packs no O(1) distance tier (default 64 fields).
+	FieldCacheSize int
+	// Seed drives the worker RNG split (default 1).  It only matters for
+	// hypothetical non-frozen augmentations; all current query answers are
+	// seed-independent.
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8192
+	}
+	if o.FieldCacheSize <= 0 {
+		o.FieldCacheSize = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Server answers distance and routing queries for one snapshot.
+type Server struct {
+	snap   *snapshot.Snapshot
+	g      *graph.Graph
+	src    dist.Source      // O(1) tier; nil → field-cache fallback
+	fields *dist.FieldCache // lazy BFS fallback, always non-nil
+	// instances are the frozen augment.Static tables, validated once at
+	// construction and shared read-only by every worker.
+	instances map[string][]augment.Instance
+	pool      *pool
+	opts      Options
+	start     time.Time
+	mux       *http.ServeMux
+
+	requests     atomic.Int64
+	distQueries  atomic.Int64
+	routeQueries atomic.Int64
+	errors       atomic.Int64
+}
+
+// New builds a Server over a loaded snapshot.  The snapshot must contain a
+// graph (snapshot.ReadBytes guarantees it); everything else is optional
+// and degrades gracefully: no O(1) tier → BFS field fallback, no frozen
+// schemes → /v1/route returns an explanatory error.
+func New(snap *snapshot.Snapshot, opts Options) (*Server, error) {
+	if snap == nil || snap.Graph == nil {
+		return nil, fmt.Errorf("serve: snapshot has no graph")
+	}
+	opts.fill()
+	instances := make(map[string][]augment.Instance, len(snap.Schemes))
+	for i := range snap.Schemes {
+		st := &snap.Schemes[i]
+		for k := range st.Draws {
+			inst, err := st.Instance(k)
+			if err != nil {
+				return nil, fmt.Errorf("serve: scheme %s draw %d: %w", st.Name, k, err)
+			}
+			instances[st.Name] = append(instances[st.Name], inst)
+		}
+	}
+	s := &Server{
+		snap:      snap,
+		g:         snap.Graph,
+		src:       snap.Source(),
+		fields:    dist.NewFieldCache(snap.Graph, opts.FieldCacheSize),
+		instances: instances,
+		pool:      newPool(snap.Graph.N(), opts.Workers, opts.Seed),
+		opts:      opts,
+		start:     time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/dist", s.handleDist)
+	s.mux.HandleFunc("/v1/route", s.handleRoute)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the full middleware chain: counting, then the mux, all
+// under the request timeout.
+func (s *Server) Handler() http.Handler {
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+	return http.TimeoutHandler(counted, s.opts.RequestTimeout,
+		`{"error":"request timed out"}`)
+}
+
+// Close stops the worker pool.  In-flight pool tasks finish first.
+func (s *Server) Close() { s.pool.Close() }
+
+// oracle names the distance tier answering queries, for /v1/stats and logs.
+func (s *Server) oracle() string {
+	switch {
+	case s.snap.Metric != nil:
+		return "analytic"
+	case s.snap.TwoHop != nil:
+		return "twohop"
+	default:
+		return "field-cache"
+	}
+}
+
+// distance answers one exact distance query through the fastest available
+// tier.
+func (s *Server) distance(u, v graph.NodeID) int32 {
+	if s.src != nil {
+		return s.src.Dist(u, v)
+	}
+	return s.fields.Field(v)[u]
+}
+
+// targetSource returns a dist.Source rooted at t for routing.
+func (s *Server) targetSource(t graph.NodeID) dist.Source {
+	if s.src != nil {
+		return s.src
+	}
+	return dist.NewField(s.fields.Field(t), t)
+}

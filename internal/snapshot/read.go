@@ -1,0 +1,389 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/graph/gen"
+)
+
+// ReadFile loads a snapshot from disk.  The returned snapshot's big arrays
+// alias the file buffer on little-endian hosts (zero-copy); the buffer
+// stays reachable for the snapshot's lifetime.
+func ReadFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ReadBytes(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Read loads a snapshot from a stream (convenience over ReadBytes).
+func Read(r io.Reader) (*Snapshot, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadBytes(b)
+}
+
+// ReadBytes parses and validates a snapshot from b.  The buffer must stay
+// immutable afterwards: on little-endian hosts the returned graph, label
+// and contact arrays are zero-copy views into it.
+//
+// Validation is layered so hostile input fails at bounded cost: header
+// magic/version/table checksum first, then per-section bounds, alignment
+// and payload checksums, then per-section structural parsing where every
+// declared count is checked against the (already length-verified) section
+// payload before any slice is materialised, and finally the semantic
+// invariants of each artefact (graph.FromCSR, dist.TwoHopFromRaw, contact
+// ranges, cross-section consistency).
+func ReadBytes(b []byte) (*Snapshot, error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("snapshot: %d bytes is shorter than the %d-byte header", len(b), headerSize)
+	}
+	if string(b[0:8]) != MagicV1 {
+		return nil, fmt.Errorf("snapshot: bad magic %q", b[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this reader handles %d)", v, FormatVersion)
+	}
+	count := binary.LittleEndian.Uint32(b[12:16])
+	if count == 0 || count > MaxSections {
+		return nil, fmt.Errorf("snapshot: section count %d out of range [1,%d]", count, MaxSections)
+	}
+	tableEnd := headerSize + sectionEntrySize*int(count)
+	if tableEnd > len(b) {
+		return nil, fmt.Errorf("snapshot: truncated section table (%d sections need %d bytes, file has %d)", count, tableEnd, len(b))
+	}
+	if got, want := crc64.Checksum(b[headerSize:tableEnd], crcTable), binary.LittleEndian.Uint64(b[16:24]); got != want {
+		return nil, fmt.Errorf("snapshot: section table checksum mismatch (file %016x, computed %016x)", want, got)
+	}
+
+	s := &Snapshot{}
+	var sawMeta, sawGraph, sawMetric, sawTwoHop bool
+	var pendingTwoHop *cursor
+	var pendingSchemes []*cursor
+	prevEnd := uint64(tableEnd)
+	for i := 0; i < int(count); i++ {
+		e := b[headerSize+sectionEntrySize*i:]
+		kind := binary.LittleEndian.Uint32(e[0:4])
+		flags := binary.LittleEndian.Uint32(e[4:8])
+		offset := binary.LittleEndian.Uint64(e[8:16])
+		length := binary.LittleEndian.Uint64(e[16:24])
+		sum := binary.LittleEndian.Uint64(e[24:32])
+		reserved := binary.LittleEndian.Uint64(e[32:40])
+		if flags != 0 || reserved != 0 {
+			return nil, fmt.Errorf("snapshot: section %d has non-zero reserved fields", i)
+		}
+		// Canonical layout only: payloads in table order, 8-aligned, with
+		// zero padding between them.  Rejecting overlapping or out-of-order
+		// sections keeps a hostile file from aliasing one slab under two
+		// interpretations.
+		if offset != uint64(align8(int(prevEnd))) {
+			return nil, fmt.Errorf("snapshot: section %d payload at offset %d, canonical layout wants %d", i, offset, align8(int(prevEnd)))
+		}
+		if offset > uint64(len(b)) || length > uint64(len(b))-offset {
+			return nil, fmt.Errorf("snapshot: section %d [%d,+%d) overruns the %d-byte file", i, offset, length, len(b))
+		}
+		for _, pad := range b[prevEnd:offset] {
+			if pad != 0 {
+				return nil, fmt.Errorf("snapshot: non-zero padding before section %d", i)
+			}
+		}
+		prevEnd = offset + length
+		payload := b[offset : offset+length]
+		if got := crc64.Checksum(payload, crcTable); got != sum {
+			return nil, fmt.Errorf("snapshot: section %d (kind %d) checksum mismatch (file %016x, computed %016x)", i, kind, sum, got)
+		}
+		switch kind {
+		case kindMeta:
+			if sawMeta {
+				return nil, fmt.Errorf("snapshot: duplicate meta section")
+			}
+			sawMeta = true
+			if err := json.Unmarshal(payload, &s.Meta); err != nil {
+				return nil, fmt.Errorf("snapshot: bad meta section: %w", err)
+			}
+		case kindGraph:
+			if sawGraph {
+				return nil, fmt.Errorf("snapshot: duplicate graph section")
+			}
+			sawGraph = true
+			g, err := decodeGraph(&cursor{b: payload})
+			if err != nil {
+				return nil, err
+			}
+			s.Graph = g
+		case kindMetric:
+			if sawMetric {
+				return nil, fmt.Errorf("snapshot: duplicate metric section")
+			}
+			sawMetric = true
+			c := &cursor{b: payload}
+			name, err := c.str("metric name")
+			if err != nil {
+				return nil, err
+			}
+			if err := c.done(); err != nil {
+				return nil, err
+			}
+			s.MetricName = name
+		case kindTwoHop:
+			if sawTwoHop {
+				return nil, fmt.Errorf("snapshot: duplicate 2-hop section")
+			}
+			sawTwoHop = true
+			pendingTwoHop = &cursor{b: payload}
+		case kindScheme:
+			pendingSchemes = append(pendingSchemes, &cursor{b: payload})
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", kind)
+		}
+	}
+	if uint64(len(b)) != uint64(align8(int(prevEnd))) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after the last section", uint64(len(b))-prevEnd)
+	}
+	for _, pad := range b[prevEnd:] {
+		if pad != 0 {
+			return nil, fmt.Errorf("snapshot: non-zero padding after the last section")
+		}
+	}
+	if !sawGraph {
+		return nil, fmt.Errorf("snapshot: no graph section")
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("snapshot: no meta section")
+	}
+	if s.Meta.N != s.Graph.N() || s.Meta.M != s.Graph.M() {
+		return nil, fmt.Errorf("snapshot: meta says n=%d m=%d, graph section holds n=%d m=%d",
+			s.Meta.N, s.Meta.M, s.Graph.N(), s.Graph.M())
+	}
+
+	// The cross-referencing sections parse after the graph regardless of
+	// their order in the table, so their node counts can be checked.
+	if s.MetricName != "" {
+		if s.MetricName != s.Graph.Name() {
+			return nil, fmt.Errorf("snapshot: metric descriptor %q does not match graph name %q", s.MetricName, s.Graph.Name())
+		}
+		m, ok := gen.MetricFor(s.Graph)
+		if !ok {
+			return nil, fmt.Errorf("snapshot: metric descriptor %q is not in the gen registry (registry drift?)", s.MetricName)
+		}
+		s.Metric = m
+	}
+	if pendingTwoHop != nil {
+		t, err := decodeTwoHop(pendingTwoHop, s.Graph.N())
+		if err != nil {
+			return nil, err
+		}
+		s.TwoHop = t
+	}
+	for _, c := range pendingSchemes {
+		st, err := decodeScheme(c, s.Graph.N())
+		if err != nil {
+			return nil, err
+		}
+		s.Schemes = append(s.Schemes, *st)
+	}
+	return s, nil
+}
+
+func decodeGraph(c *cursor) (*graph.Graph, error) {
+	n, err := c.count("node count", MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.count("edge count", MaxNodes*4)
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.str("graph name")
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := c.i64s("offsets", n+1)
+	if err != nil {
+		return nil, err
+	}
+	adj, err := c.i32s("adjacency", 2*m)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	g, err := graph.FromCSR(name, n, offsets, adj)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return g, nil
+}
+
+func decodeTwoHop(c *cursor, graphN int) (*dist.TwoHop, error) {
+	n, err := c.count("2-hop node count", MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if n != graphN {
+		return nil, fmt.Errorf("snapshot: 2-hop section covers %d nodes, graph has %d", n, graphN)
+	}
+	total, err := c.count("2-hop entry count", MaxNodes*64)
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.i32s("hub order", n)
+	if err != nil {
+		return nil, err
+	}
+	index, err := c.i64s("label index", n+1)
+	if err != nil {
+		return nil, err
+	}
+	hubs, err := c.i32s("label hubs", total)
+	if err != nil {
+		return nil, err
+	}
+	dists, err := c.i32s("label dists", total)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	t, err := dist.TwoHopFromRaw(n, order, index, hubs, dists)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return t, nil
+}
+
+func decodeScheme(c *cursor, graphN int) (*SchemeTable, error) {
+	draws, err := c.count("draw count", MaxDraws)
+	if err != nil {
+		return nil, err
+	}
+	if draws == 0 {
+		return nil, fmt.Errorf("snapshot: scheme section with zero draws")
+	}
+	n, err := c.count("scheme node count", MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if n != graphN {
+		return nil, fmt.Errorf("snapshot: scheme section covers %d nodes, graph has %d", n, graphN)
+	}
+	seed, err := c.u64("scheme seed")
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.str("scheme name")
+	if err != nil {
+		return nil, err
+	}
+	st := &SchemeTable{Name: name, Seed: seed}
+	for k := 0; k < draws; k++ {
+		table, err := c.i32s("contact table", n)
+		if err != nil {
+			return nil, err
+		}
+		for u, v := range table {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("snapshot: scheme %s draw %d contact[%d] = %d out of range [0,%d)", name, k, u, v, n)
+			}
+		}
+		st.Draws = append(st.Draws, table)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// cursor walks one section payload, mirroring the writer's enc: every slab
+// read re-aligns to 8 bytes, every count is bounds-checked against both
+// its structural cap and the remaining payload length before a slice is
+// materialised, and done() requires full (padding-only) consumption so
+// trailing garbage is rejected.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) u64(what string) (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, fmt.Errorf("snapshot: truncated %s field", what)
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+// count reads a u64 and validates it as a non-negative int at most max.
+func (c *cursor) count(what string, max int) (int, error) {
+	v, err := c.u64(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("snapshot: %s %d exceeds cap %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+// str reads a u64 length plus that many bytes, padded to 8.
+func (c *cursor) str(what string) (string, error) {
+	l, err := c.count(what+" length", MaxNameLen)
+	if err != nil {
+		return "", err
+	}
+	if c.remaining() < align8(l) {
+		return "", fmt.Errorf("snapshot: truncated %s", what)
+	}
+	v := string(c.b[c.off : c.off+l])
+	c.off += align8(l)
+	return v, nil
+}
+
+// i32s returns a count-element int32 view of the next slab (padded to 8).
+func (c *cursor) i32s(what string, count int) ([]int32, error) {
+	need := align8(count * 4)
+	if count < 0 || count > (len(c.b)-c.off)/4 || c.remaining() < need {
+		return nil, fmt.Errorf("snapshot: %s declares %d entries, only %d bytes remain", what, count, c.remaining())
+	}
+	v := viewInt32(c.b[c.off : c.off+count*4])
+	c.off += need
+	return v, nil
+}
+
+// i64s returns a count-element int64 view of the next slab.
+func (c *cursor) i64s(what string, count int) ([]int64, error) {
+	if count < 0 || count > (len(c.b)-c.off)/8 {
+		return nil, fmt.Errorf("snapshot: %s declares %d entries, only %d bytes remain", what, count, c.remaining())
+	}
+	v := viewInt64(c.b[c.off : c.off+count*8])
+	c.off += count * 8
+	return v, nil
+}
+
+// done verifies the whole payload was consumed exactly (the writer's enc
+// keeps every payload a multiple of 8, so a well-formed section has no
+// trailing bytes at all).
+func (c *cursor) done() error {
+	if c.remaining() != 0 {
+		return fmt.Errorf("snapshot: %d unconsumed bytes in section", c.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// This file is the slab codec: bulk []int32/[]int64 <-> little-endian byte
+// conversions.  The format is always little-endian on the wire; on
+// little-endian hosts (every platform the experiments run on) the
+// conversions are zero-copy — the decoder returns a typed view aliasing
+// the file buffer and the encoder appends the raw backing bytes — which is
+// what makes snapshot loading an mmap-friendly O(validation) pass instead
+// of an O(bytes) decode.  Big-endian or misaligned inputs take the
+// explicit encoding/binary loop, so correctness never depends on the fast
+// path.
+
+// hostLittleEndian reports the byte order of the running host, probed once.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// viewInt32 decodes b (len divisible by 4) as little-endian int32s,
+// aliasing b on aligned little-endian hosts.  Callers own the resulting
+// slice's immutability contract: it may share memory with b.
+func viewInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// viewInt64 decodes b (len divisible by 8) as little-endian int64s,
+// aliasing b on aligned little-endian hosts.
+func viewInt64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// appendInt32s appends v to buf in little-endian order.
+func appendInt32s(buf []byte, v []int32) []byte {
+	if len(v) == 0 {
+		return buf
+	}
+	if hostLittleEndian {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)...)
+	}
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+// appendInt64s appends v to buf in little-endian order.
+func appendInt64s(buf []byte, v []int64) []byte {
+	if len(v) == 0 {
+		return buf
+	}
+	if hostLittleEndian {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)...)
+	}
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+	}
+	return buf
+}

@@ -1,0 +1,282 @@
+package snapshot_test
+
+// Snapshot round-trip conformance: a .navsnap written from freshly built
+// artefacts and read back must answer every distance and routing query
+// byte-identically to the in-process build it froze — exhaustively on
+// graphs up to disttest.ExhaustiveMaxNodes nodes, sampled at n=4096.  The
+// suite also pins write determinism (equal snapshots serialise to
+// byte-identical files, and write → read → write is a fixpoint), which is
+// what makes the checksums meaningful across toolchain runs.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"navaug/internal/augment"
+	"navaug/internal/core"
+	"navaug/internal/dist"
+	"navaug/internal/dist/disttest"
+	"navaug/internal/graph"
+	"navaug/internal/route"
+	"navaug/internal/snapshot"
+	"navaug/internal/xrand"
+)
+
+// buildCase builds one snapshot and returns it with its serialised bytes.
+func buildCase(t *testing.T, family string, n int, oracle dist.SourcePolicy, schemes ...string) (*snapshot.Snapshot, []byte) {
+	t.Helper()
+	snap, _, err := core.BuildSnapshot(core.SnapshotOptions{
+		Family:  family,
+		N:       n,
+		Seed:    1,
+		Schemes: schemes,
+		Draws:   2,
+		Oracle:  oracle,
+	})
+	if err != nil {
+		t.Fatalf("BuildSnapshot(%s, %d): %v", family, n, err)
+	}
+	b, err := snap.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes(%s, %d): %v", family, n, err)
+	}
+	return snap, b
+}
+
+func TestRoundTripConformance(t *testing.T) {
+	cases := []struct {
+		family string
+		n      int
+		oracle dist.SourcePolicy
+	}{
+		{"ratree", 256, dist.PolicyTwoHop},       // exhaustive, 2-hop tier
+		{"gnp", 300, dist.PolicyTwoHop},          // exhaustive, non-tree cover
+		{"torus", 256, dist.PolicyAuto},          // exhaustive, analytic tier
+		{"powerlaw-tree", 4096, dist.PolicyAuto}, // sampled, auto → 2-hop
+		{"grid", 4096, dist.PolicyAuto},          // sampled, analytic tier
+	}
+	for _, tc := range cases {
+		t.Run(tc.family, func(t *testing.T) {
+			fresh, b := buildCase(t, tc.family, tc.n, tc.oracle, "ball", "uniform")
+			loaded, err := snapshot.ReadBytes(b)
+			if err != nil {
+				t.Fatalf("ReadBytes: %v", err)
+			}
+
+			// Write determinism and read→write fixpoint.
+			b2, err := fresh.Bytes()
+			if err != nil {
+				t.Fatalf("second Bytes: %v", err)
+			}
+			if !bytes.Equal(b, b2) {
+				t.Fatalf("serialisation is not deterministic")
+			}
+			b3, err := loaded.Bytes()
+			if err != nil {
+				t.Fatalf("re-serialising loaded snapshot: %v", err)
+			}
+			if !bytes.Equal(b, b3) {
+				t.Fatalf("write → read → write is not a fixpoint")
+			}
+
+			// Structural identity.
+			if loaded.Meta != fresh.Meta {
+				t.Fatalf("meta drifted: %+v vs %+v", loaded.Meta, fresh.Meta)
+			}
+			if loaded.Graph.Name() != fresh.Graph.Name() ||
+				loaded.Graph.N() != fresh.Graph.N() || loaded.Graph.M() != fresh.Graph.M() {
+				t.Fatalf("graph drifted: %v vs %v", loaded.Graph, fresh.Graph)
+			}
+			if !reflect.DeepEqual(loaded.Schemes, fresh.Schemes) {
+				t.Fatalf("scheme tables drifted")
+			}
+
+			// The loaded O(1) tier must exist and match ground truth.
+			src := loaded.Source()
+			if src == nil {
+				t.Fatalf("loaded snapshot has no O(1) distance tier")
+			}
+			disttest.Exact(t, loaded.Graph, src)
+
+			// Byte-identical answers against the fresh tier, every packed
+			// oracle kind: exhaustive when small, sampled otherwise.
+			freshSrc := fresh.Source()
+			comparePairs(t, loaded.Graph, freshSrc, src)
+			if fresh.TwoHop != nil {
+				if loaded.TwoHop == nil {
+					t.Fatalf("2-hop tier lost in round trip")
+				}
+				comparePairs(t, loaded.Graph, fresh.TwoHop, loaded.TwoHop)
+			}
+			if fresh.MetricName != "" && loaded.Metric == nil {
+				t.Fatalf("analytic tier lost in round trip")
+			}
+
+			compareRoutes(t, fresh, loaded)
+		})
+	}
+}
+
+// comparePairs asserts two sources agree pair-for-pair: all pairs for
+// graphs within the exhaustive budget, seeded random pairs beyond.
+func comparePairs(t *testing.T, g *graph.Graph, want, got dist.Source) {
+	t.Helper()
+	n := g.N()
+	if n <= disttest.ExhaustiveMaxNodes {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				w, l := want.Dist(graph.NodeID(u), graph.NodeID(v)), got.Dist(graph.NodeID(u), graph.NodeID(v))
+				if w != l {
+					t.Fatalf("Dist(%d,%d): fresh %d, loaded %d", u, v, w, l)
+				}
+			}
+		}
+		return
+	}
+	rng := xrand.New(7)
+	for i := 0; i < 20000; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if w, l := want.Dist(u, v), got.Dist(u, v); w != l {
+			t.Fatalf("Dist(%d,%d): fresh %d, loaded %d", u, v, w, l)
+		}
+	}
+}
+
+// compareRoutes routes seeded (s, t) pairs over every frozen draw on both
+// the fresh and the loaded snapshot and requires identical results —
+// steps, long links, reachability and full traced paths.  With frozen
+// contact tables greedy routing is fully deterministic, so any divergence
+// is a serialisation bug.
+func compareRoutes(t *testing.T, fresh, loaded *snapshot.Snapshot) {
+	t.Helper()
+	n := fresh.Graph.N()
+	rng := xrand.New(11)
+	opts := route.Options{Trace: true}
+	for si := range fresh.Schemes {
+		for k := range fresh.Schemes[si].Draws {
+			instF, err := fresh.Schemes[si].Instance(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instL, err := loaded.Schemes[si].Instance(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 32; trial++ {
+				s, dst := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+				rf, errF := route.Greedy(fresh.Graph, instF, s, dst, fresh.Source(), xrand.New(99), opts)
+				rl, errL := route.Greedy(loaded.Graph, instL, s, dst, loaded.Source(), xrand.New(99), opts)
+				if (errF == nil) != (errL == nil) {
+					t.Fatalf("route(%d,%d): fresh err %v, loaded err %v", s, dst, errF, errL)
+				}
+				if errF != nil {
+					continue
+				}
+				if !reflect.DeepEqual(rf, rl) {
+					t.Fatalf("route(%d,%d) scheme %s draw %d diverged: fresh %+v, loaded %+v",
+						s, dst, fresh.Schemes[si].Name, k, rf, rl)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	snap, b := buildCase(t, "ratree", 128, dist.PolicyTwoHop, "ball")
+	path := filepath.Join(t.TempDir(), "rt.navsnap")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, b) {
+		t.Fatalf("WriteFile bytes differ from Bytes()")
+	}
+	loaded, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if loaded.Graph.N() != snap.Graph.N() {
+		t.Fatalf("loaded n = %d, want %d", loaded.Graph.N(), snap.Graph.N())
+	}
+	// Leftover temp files would mean WriteFile is not atomic-by-rename.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the snapshot in the temp dir, found %d entries", len(entries))
+	}
+}
+
+func TestSourcePrecedence(t *testing.T) {
+	// Analytic metric preferred over 2-hop when both are packed.
+	snap, b := buildCase(t, "torus", 100, dist.PolicyTwoHop)
+	if snap.MetricName == "" || snap.TwoHop == nil {
+		t.Fatalf("expected both tiers packed, got metric=%q twohop=%v", snap.MetricName, snap.TwoHop != nil)
+	}
+	loaded, err := snapshot.ReadBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Source() != loaded.Metric {
+		t.Fatalf("Source() should prefer the analytic metric")
+	}
+
+	// No tier at all → nil Source, with no typed-nil footgun.
+	bare, bb := buildCase(t, "gnp", 64, dist.PolicyField)
+	if bare.Source() != nil {
+		t.Fatalf("fresh field-policy snapshot should have nil Source")
+	}
+	loadedBare, err := snapshot.ReadBytes(bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedBare.Source() != nil {
+		t.Fatalf("loaded field-policy snapshot should have nil Source")
+	}
+}
+
+func TestSchemeLookup(t *testing.T) {
+	snap, _ := buildCase(t, "ratree", 64, dist.PolicyTwoHop, "ball", "uniform")
+	first, err := snap.Scheme("")
+	if err != nil || first.Name != "ball" {
+		t.Fatalf(`Scheme("") = %v, %v; want the ball table`, first, err)
+	}
+	if _, err := snap.Scheme("uniform"); err != nil {
+		t.Fatalf("Scheme(uniform): %v", err)
+	}
+	if _, err := snap.Scheme("nope"); err == nil {
+		t.Fatalf("Scheme(nope) should fail")
+	}
+	if _, err := first.Instance(-1); err == nil {
+		t.Fatalf("Instance(-1) should fail")
+	}
+	if _, err := first.Instance(len(first.Draws)); err == nil {
+		t.Fatalf("Instance(out of range) should fail")
+	}
+	inst, err := first.Instance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, ok := inst.(*augment.Static)
+	if !ok {
+		t.Fatalf("frozen instance is %T, want *augment.Static", inst)
+	}
+	if static.Name() != "ball" {
+		t.Fatalf("frozen instance name = %q, want ball", static.Name())
+	}
+}
+
+func TestSchemeDrawsAreReproducible(t *testing.T) {
+	a, _ := buildCase(t, "ratree", 200, dist.PolicyField, "ball")
+	b, _ := buildCase(t, "ratree", 200, dist.PolicyField, "ball")
+	if !reflect.DeepEqual(a.Schemes, b.Schemes) {
+		t.Fatalf("same seed produced different frozen tables")
+	}
+}
