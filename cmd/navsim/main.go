@@ -72,17 +72,25 @@ var commands = []*command{
 		run:     runSnapshot,
 	},
 	{
-		name:     "serve",
-		synopsis: "-snapshot graph.navsnap [-addr 127.0.0.1:8080] [-workers N] [-timeout 2s] [-max-batch N]",
-		summary:  "Serve distance and greedy-routing queries over HTTP from a snapshot (no rebuild).",
-		run:      runServe,
+		name: "serve",
+		synopsis: "-snapshot graph.navsnap [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-timeout 2s]\n" +
+			"               [-max-batch N] [-landmarks N] [-faults SPEC] [-drain 1s]",
+		summary: "Serve distance and greedy-routing queries over HTTP from a snapshot (no rebuild).",
+		run:     runServe,
 	},
 	{
 		name: "loadgen",
 		synopsis: "[-url http://127.0.0.1:8080] [-mode dist|route] [-rate R] [-duration 5s] [-conns N]\n" +
-			"               [-batch N] [-keys uniform|zipf] [-zipf 1.1] [-seed N] [-out BENCH_serve.json]",
+			"               [-batch N] [-keys uniform|zipf] [-zipf 1.1] [-seed N] [-retries N] [-out BENCH_serve.json]",
 		summary: "Benchmark a running navsim serve instance and record throughput and latency.",
 		run:     runLoadgen,
+	},
+	{
+		name: "chaos",
+		synopsis: "-snapshot graph.navsnap [-faults SPEC] [-corrupt twohop] [-duration 5s] [-conns N]\n" +
+			"               [-mode dist|route] [-retries N] [-workers N] [-queue N] [-out BENCH_serve.json]",
+		summary: "Torture a snapshot in-process under injected faults and verify goodput, shedding and byte-identical recovery.",
+		run:     runChaos,
 	},
 }
 

@@ -94,6 +94,12 @@ func NewLandmarkOracle(g *graph.Graph, k int, rng *xrand.RNG) *LandmarkOracle {
 // K returns the number of landmarks.
 func (o *LandmarkOracle) K() int { return len(o.landmarks) }
 
+// N returns the number of nodes the oracle covers.  Exposing it lets
+// consumers that steer by landmark bounds (the serve layer's degraded
+// routing tier) reject an oracle built for a different graph, the same
+// up-front check route.Greedy applies to fields and analytic metrics.
+func (o *LandmarkOracle) N() int { return int(o.n) }
+
 // Landmarks returns the landmark nodes as a shared, read-only slice.
 func (o *LandmarkOracle) Landmarks() []graph.NodeID { return o.landmarks }
 

@@ -137,6 +137,15 @@ func Greedy(g *graph.Graph, inst augment.Instance, s, t graph.NodeID, src dist.S
 			return res, nil // Reached stays false
 		}
 		next, viaLong := greedyStep(g, inst, scratch, cur, t, src, rng)
+		if next == cur {
+			// No neighbour (nor the contact) improves on cur.  With an
+			// exact distance source this cannot happen on a reachable
+			// pair — some neighbour lies on a shortest path — so this is
+			// the approximate-steering case (landmark upper bounds can
+			// plateau).  Burning the remaining step budget in place would
+			// change nothing; stop with Reached false.
+			return res, nil
+		}
 		if viaLong {
 			res.LongLinksUsed++
 		}
@@ -232,6 +241,9 @@ func GreedyWithLookahead(g *graph.Graph, inst augment.Instance, s, t graph.NodeI
 		if bestVia != -1 && bestViaDist < directDist && bestViaDist < src.Dist(cur, t) {
 			next = bestVia
 			nextViaLong = false
+		}
+		if next == cur {
+			return res, nil // stuck under approximate steering; see Greedy
 		}
 		if nextViaLong {
 			res.LongLinksUsed++

@@ -363,3 +363,82 @@ func BenchmarkGreedyBallGrid(b *testing.B) {
 		}
 	}
 }
+
+// plateauSource reports every node at the same positive distance from the
+// target (except the target itself) — the worst case of approximate
+// steering, where no neighbour ever looks strictly closer.
+type plateauSource struct{ t graph.NodeID }
+
+func (p plateauSource) Dist(u, _ graph.NodeID) int32 {
+	if u == p.t {
+		return 0
+	}
+	return 5
+}
+
+// TestGreedyStuckUnderApproximateSteeringStopsEarly pins the degraded-mode
+// contract: steering by a distance source that plateaus must terminate
+// immediately with Reached false instead of burning the 4n step budget in
+// place.
+func TestGreedyStuckUnderApproximateSteeringStopsEarly(t *testing.T) {
+	g := gen.Path(64)
+	inst, _ := augment.NewNoAugmentation().Prepare(g)
+	res, err := Greedy(g, inst, 0, 63, plateauSource{t: 63}, xrand.New(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("plateau source cannot reach the target")
+	}
+	if res.Steps != 0 {
+		t.Fatalf("stuck route took %d steps, want 0 (early exit)", res.Steps)
+	}
+	res, err = GreedyWithLookahead(g, inst, 0, 63, plateauSource{t: 63}, xrand.New(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached || res.Steps != 0 {
+		t.Fatalf("lookahead stuck route: %+v, want 0 steps", res)
+	}
+}
+
+// TestGreedySteersByLandmarkBounds exercises the serve layer's last-ladder
+// tier end to end at the routing level: landmark upper bounds are not
+// exact, but with enough landmarks on a tree they still route, and with a
+// landmark at every node they are exact and must reach.
+func TestGreedySteersByLandmarkBounds(t *testing.T) {
+	g := gen.RandomTree(200, xrand.New(5))
+	inst, _ := augment.NewNoAugmentation().Prepare(g)
+	// k = n: every node is a landmark, bounds are exact, routing must work
+	// exactly like BFS-field steering.
+	exactLm := dist.NewLandmarkOracle(g, g.N(), xrand.New(7))
+	rng := xrand.New(9)
+	for i := 0; i < 20; i++ {
+		s := graph.NodeID(rng.Intn(g.N()))
+		tt := graph.NodeID(rng.Intn(g.N()))
+		res, err := Greedy(g, inst, s, tt, exactLm, rng, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			t.Fatalf("exact landmark steering failed to reach (%d -> %d)", s, tt)
+		}
+		if want := g.BFS(tt)[s]; int32(res.Steps) != want {
+			t.Fatalf("exact landmark steering took %d steps for distance %d", res.Steps, want)
+		}
+	}
+	// Sparse landmarks: answers are upper bounds; routing must terminate
+	// without error and never report Reached falsely.
+	sparse := dist.NewLandmarkOracle(g, 8, xrand.New(7))
+	for i := 0; i < 20; i++ {
+		s := graph.NodeID(rng.Intn(g.N()))
+		tt := graph.NodeID(rng.Intn(g.N()))
+		res, err := Greedy(g, inst, s, tt, sparse, rng, Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached && len(res.Path) > 0 && res.Path[len(res.Path)-1] != tt {
+			t.Fatalf("claimed reached but path ends at %d, not %d", res.Path[len(res.Path)-1], tt)
+		}
+	}
+}

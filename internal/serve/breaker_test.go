@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if !b.Allow() || b.Tripped() {
+		t.Fatal("fresh breaker not closed")
+	}
+	if b.Fail() || b.Fail() {
+		t.Fatal("tripped before threshold")
+	}
+	if !b.Fail() {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.Allow() || !b.Tripped() {
+		t.Fatal("open breaker admitted a task")
+	}
+	// Further failures while open change nothing.
+	if b.Fail() {
+		t.Fatal("failure while already open reported a fresh trip")
+	}
+}
+
+func TestBreakerSuccessResetsFailStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Fail()
+	b.Fail()
+	if b.Success() {
+		t.Fatal("success in closed state reported a restore")
+	}
+	// The streak restarted: two more failures still don't trip.
+	if b.Fail() || b.Fail() {
+		t.Fatal("streak not reset by success")
+	}
+	if !b.Fail() {
+		t.Fatal("threshold not reached after reset streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	if !b.Fail() {
+		t.Fatal("threshold 1 should trip on first failure")
+	}
+	if b.Allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	// Probe success closes; restore fires exactly once.
+	if !b.Success() {
+		t.Fatal("half-open success did not close")
+	}
+	if b.Tripped() || b.Success() {
+		t.Fatal("closed breaker still tripped or re-reporting restore")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Fail()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	if !b.Fail() {
+		t.Fatal("failed probe must count as a fresh trip (re-repair)")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before a second cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() || !b.Success() {
+		t.Fatal("second probe did not recover")
+	}
+}

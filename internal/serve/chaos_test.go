@@ -1,0 +1,419 @@
+package serve_test
+
+// Chaos contract tests: the serving stack under injected faults.  Each
+// test drives the real HTTP handler chain with a deterministic
+// fault.Injector and asserts the robustness contract end to end — nonzero
+// goodput and bounded shedding under overload, zero escaped panics,
+// quarantine-repair-restore on panicking shards, the approximate answer
+// tier on damaged snapshots, and byte-identical answers once faults clear.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"navaug/internal/core"
+	"navaug/internal/dist"
+	"navaug/internal/fault"
+	"navaug/internal/serve"
+	"navaug/internal/snapshot"
+)
+
+// chaosStats is the /v1/stats slice the chaos assertions read.
+type chaosStats struct {
+	Requests      int64    `json:"requests"`
+	DistQueries   int64    `json:"dist_queries"`
+	RouteQueries  int64    `json:"route_queries"`
+	Errors        int64    `json:"errors"`
+	Shed          int64    `json:"shed"`
+	Panics        int64    `json:"panics"`
+	Repairs       int64    `json:"repairs"`
+	ApproxAnswers int64    `json:"approx_answers"`
+	Timeouts      int64    `json:"timeouts"`
+	BreakersOpen  int      `json:"breakers_open"`
+	Degraded      bool     `json:"degraded"`
+	Draining      bool     `json:"draining"`
+	Tier          string   `json:"tier"`
+	Quarantined   []string `json:"quarantined"`
+}
+
+func fetchChaosStats(t *testing.T, base string) chaosStats {
+	t.Helper()
+	var st chaosStats
+	getJSON(t, base+"/v1/stats", &st)
+	return st
+}
+
+// getBody fetches a URL and returns status and raw body, for byte-identity
+// probes.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// probeSet is a fixed set of query URLs whose responses must be
+// byte-identical before faults and after recovery.
+func probeSet(base string) []string {
+	return []string{
+		base + "/v1/dist?u=3&v=97",
+		base + "/v1/dist?u=0&v=200",
+		base + "/v1/route?s=5&t=180",
+		base + "/v1/route?s=42&t=7&scheme=uniform&draw=1",
+	}
+}
+
+func captureProbes(t *testing.T, urls []string) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(urls))
+	for i, u := range urls {
+		code, body := getBody(t, u)
+		if code != http.StatusOK {
+			t.Fatalf("probe %s returned %d: %s", u, code, body)
+		}
+		out[i] = body
+	}
+	return out
+}
+
+// TestChaosContractStallAndStorm is the headline contract: a stalled pool
+// plus a latency storm bigger than the request timeout must yield (a)
+// nonzero goodput, (b) load shed as 429s rather than unbounded queueing,
+// (c) zero escaped panics, and (d) byte-identical answers once the fault
+// window closes.
+func TestChaosContractStallAndStorm(t *testing.T) {
+	inj := fault.MustParse("stall:shard=-1,delay=40ms,dur=1200ms;storm:p=0.1,delay=500ms,dur=1200ms", 11)
+	_, _, ts := newTestServer(t, "ratree", 256, dist.PolicyTwoHop, serve.Options{
+		Workers: 2, QueueDepth: 2, RequestTimeout: 300 * time.Millisecond,
+		Landmarks: 8, Faults: inj,
+	})
+
+	before := captureProbes(t, probeSet(ts.URL))
+	inj.Activate()
+	start := time.Now()
+
+	var ok200, shed429, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Since(start) < time.Second; i++ {
+				var url string
+				if (c+i)%2 == 0 {
+					url = fmt.Sprintf("%s/v1/route?s=%d&t=%d", ts.URL, (c*31+i)%256, (i*17+3)%256)
+				} else {
+					url = fmt.Sprintf("%s/v1/dist?u=%d&v=%d", ts.URL, (c*13+i)%256, (i*7+1)%256)
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if ok200.Load() == 0 {
+		t.Fatal("no goodput under chaos: every request failed")
+	}
+	if shed429.Load() == 0 {
+		t.Fatal("overload never shed: queue must be unbounded or stall ineffective")
+	}
+	st := fetchChaosStats(t, ts.URL)
+	if st.Panics != 0 {
+		t.Fatalf("stall+storm chaos produced %d panics", st.Panics)
+	}
+	if st.Shed == 0 {
+		t.Fatalf("server shed counter stayed 0 with %d client 429s", shed429.Load())
+	}
+
+	// Let the fault window close, then the exact same queries must answer
+	// byte-identically to the pre-fault baseline.
+	if sleepFor := 1400*time.Millisecond - time.Since(start); sleepFor > 0 {
+		time.Sleep(sleepFor)
+	}
+	after := captureProbes(t, probeSet(ts.URL))
+	for i := range before {
+		if string(before[i]) != string(after[i]) {
+			t.Fatalf("probe %d diverged after fault window:\n before: %s\n after:  %s",
+				i, before[i], after[i])
+		}
+	}
+	if st := fetchChaosStats(t, ts.URL); st.Degraded {
+		t.Fatal("server still reports degraded after the fault window closed")
+	}
+}
+
+// TestPanicQuarantineRepairRecover drives every shard through the full
+// breaker lifecycle: injected panics are recovered (500s, not a crash),
+// the breakers trip and the shards' contact rows are locally re-sampled,
+// and once the fault window closes the half-open probes restore the
+// original tables — answers are byte-identical again.
+func TestPanicQuarantineRepairRecover(t *testing.T) {
+	inj := fault.MustParse("panic:shard=-1,p=1,dur=300ms", 5)
+	_, _, ts := newTestServer(t, "ratree", 256, dist.PolicyTwoHop, serve.Options{
+		Workers: 2, QueueDepth: 4, BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond,
+		Faults: inj,
+	})
+
+	before := captureProbes(t, probeSet(ts.URL))
+	inj.Activate()
+
+	// Hammer during the window: every task panics, so we must observe 500s
+	// and the breakers must trip without taking the process down.
+	saw500 := false
+	for i := 0; i < 24; i++ {
+		code, _ := getBody(t, fmt.Sprintf("%s/v1/route?s=%d&t=%d", ts.URL, i%256, (i*31+9)%256))
+		if code == http.StatusInternalServerError {
+			saw500 = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !saw500 {
+		t.Fatal("panic storm produced no 500s: injection or recovery path broken")
+	}
+	mid := fetchChaosStats(t, ts.URL)
+	if mid.Panics == 0 {
+		t.Fatal("no panics counted during a p=1 panic window")
+	}
+	if mid.Repairs == 0 {
+		t.Fatal("breakers never tripped into quarantine-repair")
+	}
+
+	// Recovery: keep sending probe traffic until both shards have closed
+	// their breakers and restored (degraded == false), then check
+	// byte-identity.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Concurrent requests so both workers get probe tasks.
+		var wg sync.WaitGroup
+		for k := 0; k < 4; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				resp, err := http.Get(fmt.Sprintf("%s/v1/dist?u=%d&v=%d", ts.URL, k, k+100))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(k)
+		}
+		wg.Wait()
+		st := fetchChaosStats(t, ts.URL)
+		if !st.Degraded && st.BreakersOpen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recovered: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	after := captureProbes(t, probeSet(ts.URL))
+	for i := range before {
+		if string(before[i]) != string(after[i]) {
+			t.Fatalf("probe %d not byte-identical after repair/restore:\n before: %s\n after:  %s",
+				i, before[i], after[i])
+		}
+	}
+}
+
+// TestQuarantinedSnapshotServesApprox is the load-path half of the ladder:
+// a snapshot whose 2-hop section is corrupt loads tolerantly, starts
+// degraded, and under memory pressure serves landmark upper bounds marked
+// "approx": true — never an underestimate, never a refusal to start.
+func TestQuarantinedSnapshotServesApprox(t *testing.T) {
+	built, _, err := core.BuildSnapshot(core.SnapshotOptions{
+		Family: "ratree", N: 256, Seed: 7,
+		Schemes: []string{"ball"}, Draws: 1, Oracle: dist.PolicyTwoHop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := built.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.CorruptSection(b, "twohop"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.ReadBytesTolerant(b)
+	if err != nil {
+		t.Fatalf("tolerant load: %v", err)
+	}
+	if len(snap.Quarantined) != 1 || snap.Quarantined[0] != "twohop" {
+		t.Fatalf("Quarantined = %v", snap.Quarantined)
+	}
+
+	inj := fault.MustParse("mem", 3)
+	inj.Activate()
+	srv, err := serve.New(snap, serve.Options{Workers: 2, Landmarks: 8, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	st := fetchChaosStats(t, ts.URL)
+	if !st.Degraded || st.Tier != "landmark" || len(st.Quarantined) != 1 {
+		t.Fatalf("degraded stats wrong: %+v", st)
+	}
+
+	// Landmark answers are upper bounds on the true distance, never less.
+	exact := snap.Graph.BFS(5)
+	for _, v := range []int{0, 17, 100, 255} {
+		var got struct {
+			Dist   int32 `json:"dist"`
+			Approx bool  `json:"approx"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/dist?u=5&v=%d", ts.URL, v), &got)
+		if !got.Approx {
+			t.Fatalf("dist(5,%d) under mem pressure not marked approx", v)
+		}
+		if got.Dist < exact[v] {
+			t.Fatalf("landmark dist(5,%d) = %d underestimates exact %d", v, got.Dist, exact[v])
+		}
+	}
+
+	// Pressure released: the ladder climbs back to the exact field tier,
+	// but the quarantined section keeps the server marked degraded.
+	inj.Deactivate()
+	var got struct {
+		Dist   int32 `json:"dist"`
+		Approx bool  `json:"approx"`
+	}
+	getJSON(t, ts.URL+"/v1/dist?u=5&v=100", &got)
+	if got.Approx || got.Dist != exact[100] {
+		t.Fatalf("after pressure release dist(5,100) = %d approx=%v, want exact %d", got.Dist, got.Approx, exact[100])
+	}
+	if st := fetchChaosStats(t, ts.URL); !st.Degraded || st.Tier != "field-cache" {
+		t.Fatalf("post-release stats wrong: %+v", st)
+	}
+}
+
+// TestDrainSplitsLivenessFromReadiness pins the health split: draining
+// flips readiness to 503 while liveness stays 200 and accepted queries
+// still answer.
+func TestDrainSplitsLivenessFromReadiness(t *testing.T) {
+	_, srv, ts := newTestServer(t, "ratree", 64, dist.PolicyTwoHop, serve.Options{Workers: 2})
+	for _, ep := range []string{"/v1/livez", "/v1/readyz", "/v1/healthz"} {
+		if code, body := getBody(t, ts.URL+ep); code != http.StatusOK {
+			t.Fatalf("%s = %d before drain: %s", ep, code, body)
+		}
+	}
+	srv.BeginDrain()
+	if code, _ := getBody(t, ts.URL+"/v1/livez"); code != http.StatusOK {
+		t.Fatalf("livez = %d while draining, want 200", code)
+	}
+	for _, ep := range []string{"/v1/readyz", "/v1/healthz"} {
+		code, body := getBody(t, ts.URL+ep)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s = %d while draining, want 503: %s", ep, code, body)
+		}
+	}
+	// In-flight / late queries still answer: drain refuses readiness, not
+	// work.
+	if code, body := getBody(t, ts.URL+"/v1/dist?u=1&v=30"); code != http.StatusOK {
+		t.Fatalf("dist while draining = %d: %s", code, body)
+	}
+}
+
+// TestSoakChaos runs the full stack under simultaneous stall, storm and
+// panic faults for several seconds, asserting zero escaped panics (the
+// test binary itself would die) and monotonic stats counters throughout.
+// Skipped under -short; the CI race job runs it explicitly.
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: several seconds of chaos traffic")
+	}
+	inj := fault.MustParse("stall:shard=-1,delay=2ms;storm:p=0.05,delay=80ms;panic:shard=-1,p=0.02", 17)
+	_, _, ts := newTestServer(t, "ratree", 512, dist.PolicyTwoHop, serve.Options{
+		Workers: 4, QueueDepth: 4, RequestTimeout: 250 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+		Landmarks: 8, Faults: inj,
+	})
+	inj.Activate()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var url string
+				switch (c + i) % 3 {
+				case 0:
+					url = fmt.Sprintf("%s/v1/dist?u=%d&v=%d", ts.URL, (c*97+i)%512, (i*13+1)%512)
+				case 1:
+					url = fmt.Sprintf("%s/v1/route?s=%d&t=%d", ts.URL, (c*41+i)%512, (i*29+7)%512)
+				default:
+					url = ts.URL + "/v1/healthz"
+				}
+				resp, err := http.Get(url)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+
+	// Sample stats throughout; every counter must be monotonic.
+	counters := func(st chaosStats) []int64 {
+		return []int64{st.Requests, st.DistQueries, st.RouteQueries, st.Errors,
+			st.Shed, st.Panics, st.Repairs, st.ApproxAnswers, st.Timeouts}
+	}
+	names := []string{"requests", "dist_queries", "route_queries", "errors",
+		"shed", "panics", "repairs", "approx_answers", "timeouts"}
+	prev := counters(fetchChaosStats(t, ts.URL))
+	soakEnd := time.Now().Add(4 * time.Second)
+	for time.Now().Before(soakEnd) {
+		time.Sleep(200 * time.Millisecond)
+		cur := counters(fetchChaosStats(t, ts.URL))
+		for i := range cur {
+			if cur[i] < prev[i] {
+				t.Fatalf("counter %s went backwards: %d -> %d", names[i], prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every injected panic was recovered: reaching this line at all means
+	// none escaped the worker shield (an escaped panic kills the process).
+	st := fetchChaosStats(t, ts.URL)
+	if st.Requests == 0 || st.Panics == 0 {
+		t.Fatalf("soak exercised nothing: %+v", st)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+// Graceful degradation: the answer ladder and the quarantine-repair
+// overlay.
+//
+// The ladder orders the distance tiers by fidelity:
+//
+//	exact O(1) (analytic metric / 2-hop labels)
+//	  → BFS field cache (exact, but costs an O(n) field per target)
+//	    → landmark triangle bounds (approximate upper bounds, O(k)/query)
+//
+// A healthy server answers from the top tier its snapshot packs.  The
+// server walks down — never by operator action, always automatically —
+// when a tier is missing (section quarantined at load) or unaffordable
+// (simulated memory pressure makes per-target BFS fields the wrong trade).
+// Every answer produced below the exact tiers carries "approx": true, so a
+// client can always tell a degraded answer from a healthy one.
+//
+// The repair overlay handles a different failure: a shard whose tasks keep
+// panicking.  The pool quarantines the shard (see breaker.go) and the
+// server re-samples the shard's slice of every frozen contact table
+// locally — fresh uniform draws for just the nodes that shard owns, the
+// paper's own augmentation act repeated at repair time — rather than
+// crashing or serving the possibly-poisoned rows.  Answers routed over a
+// repaired table are approximate (the draw is no longer the frozen one)
+// and say so; when the breaker's probe succeeds the original rows are
+// restored and answers are byte-identical to the pre-fault ones again.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"navaug/internal/augment"
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// selectTier is the pure ladder decision: exactTier is "" when the
+// snapshot's O(1) tier is absent or quarantined, fieldsAffordable is false
+// under memory pressure, haveLandmark reports the approximate tier was
+// built.  The returned approx flag marks every answer served from the
+// landmark tier.  Exactness outranks memory when there is no approximate
+// tier to fall to: a server without landmarks keeps serving fields under
+// pressure rather than refusing.
+func selectTier(exactTier string, fieldsAffordable, haveLandmark bool) (tier string, approx bool) {
+	switch {
+	case exactTier != "":
+		return exactTier, false
+	case fieldsAffordable || !haveLandmark:
+		return "field-cache", false
+	default:
+		return "landmark", true
+	}
+}
+
+// liveInstance is one frozen contact table plus its copy-on-write repair
+// overlay.  Readers (query workers) only ever touch cur — a single atomic
+// pointer load on the hot path, no lock — while repair and restore swap in
+// freshly built tables under mu.  cur == orig is the healthy state and
+// doubles as the "answers are exact" test.
+type liveInstance struct {
+	scheme string
+	draw   int
+	orig   *augment.Static
+
+	cur   atomic.Pointer[augment.Static]
+	mu    sync.Mutex
+	dirty map[int]bool // shard IDs whose node ranges are currently re-sampled
+}
+
+func newLiveInstance(scheme string, draw int, orig *augment.Static) *liveInstance {
+	li := &liveInstance{scheme: scheme, draw: draw, orig: orig, dirty: make(map[int]bool)}
+	li.cur.Store(orig)
+	return li
+}
+
+// load returns the table to route over and whether it deviates from the
+// frozen draw (some shard's rows are repaired).
+func (li *liveInstance) load() (augment.Instance, bool) {
+	cur := li.cur.Load()
+	return cur, cur != li.orig
+}
+
+// repair re-samples the contact rows in [lo, hi) — the quarantined shard's
+// slice of the node space — with fresh uniform draws, leaving every other
+// row untouched.  The replacement table is a fresh allocation, so in-flight
+// readers keep their consistent old view.
+func (li *liveInstance) repair(shardID, lo, hi int, rng *xrand.RNG) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	cur := li.cur.Load()
+	table := append([]graph.NodeID(nil), cur.Contacts()...)
+	n := len(table)
+	for u := lo; u < hi && u < n; u++ {
+		table[u] = graph.NodeID(rng.Intn(n))
+	}
+	st, err := augment.NewStatic(cur.Name(), table)
+	if err != nil {
+		return // uniform draws over [0,n) cannot fail validation
+	}
+	li.dirty[shardID] = true
+	li.cur.Store(st)
+}
+
+// restore copies the frozen rows [lo, hi) back.  When the last dirty shard
+// restores, cur snaps back to the orig pointer itself, making recovery
+// exact by construction — not merely value-equal but the same table.
+func (li *liveInstance) restore(shardID, lo, hi int) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if !li.dirty[shardID] {
+		return
+	}
+	delete(li.dirty, shardID)
+	if len(li.dirty) == 0 {
+		li.cur.Store(li.orig)
+		return
+	}
+	cur := li.cur.Load()
+	table := append([]graph.NodeID(nil), cur.Contacts()...)
+	n := len(table)
+	for u := lo; u < hi && u < n; u++ {
+		table[u] = li.orig.Contacts()[u]
+	}
+	st, err := augment.NewStatic(cur.Name(), table)
+	if err != nil {
+		return
+	}
+	li.cur.Store(st)
+}
+
+// shardRange is the node slice shard id owns out of n nodes across w
+// workers: contiguous, balanced, covering [0, n) exactly.
+func shardRange(id, w, n int) (lo, hi int) {
+	return id * n / w, (id + 1) * n / w
+}
+
+// repairShard re-samples shard sh's rows in every live table.  Runs on the
+// worker goroutine (pool onTrip), so sh.RNG is safe to use.
+func (s *Server) repairShard(sh *Shard) {
+	lo, hi := shardRange(sh.ID, s.opts.Workers, s.g.N())
+	for _, insts := range s.live {
+		for _, li := range insts {
+			li.repair(sh.ID, lo, hi, sh.RNG)
+		}
+	}
+	s.repairs.Add(1)
+}
+
+// restoreShard undoes repairShard after the shard's breaker closes.
+func (s *Server) restoreShard(sh *Shard) {
+	lo, hi := shardRange(sh.ID, s.opts.Workers, s.g.N())
+	for _, insts := range s.live {
+		for _, li := range insts {
+			li.restore(sh.ID, lo, hi)
+		}
+	}
+}
+
+// repairActive reports whether any table currently deviates from its
+// frozen draw.
+func (s *Server) repairActive() bool {
+	for _, insts := range s.live {
+		for _, li := range insts {
+			if _, approx := li.load(); approx {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -19,6 +20,44 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// shed answers 429 with a Retry-After hint: the bounded queue was full and
+// this request was dropped at the door instead of parked.  Clients with
+// retry enabled (loadgen's -retries) back off on exactly this signal.
+func (s *Server) shedRequest(w http.ResponseWriter) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.httpError(w, http.StatusTooManyRequests, "overloaded: worker queue full, retry later")
+}
+
+// admit rejects work whose deadline has already passed before it consumes
+// a queue slot — under a timeout storm the queue should hold only requests
+// that can still be answered in time.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	ctx := r.Context()
+	expired := ctx.Err() != nil
+	if !expired {
+		if d, ok := ctx.Deadline(); ok && time.Until(d) <= 0 {
+			expired = true
+		}
+	}
+	if expired {
+		s.timeouts.Add(1)
+		s.httpError(w, http.StatusServiceUnavailable, "deadline exceeded before dispatch")
+		return false
+	}
+	return true
+}
+
+// poolError maps a TryDo failure (other than ErrOverloaded, which callers
+// shed or degrade on) to an HTTP answer.
+func (s *Server) poolError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrPanicked) {
+		s.httpError(w, http.StatusInternalServerError, "worker panicked; shard quarantined for repair")
+		return
+	}
+	s.httpError(w, http.StatusServiceUnavailable, "%v", err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -42,15 +81,33 @@ func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
 	return graph.NodeID(v), nil
 }
 
+// handleLivez is pure liveness: 200 whenever the process can answer HTTP
+// at all, draining or not.  Orchestrators use it to decide restarts; they
+// use readyz to decide routing.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "alive"})
+}
+
+// handleHealthz is readiness (also mounted at /v1/readyz): 503 while the
+// server drains so load balancers stop sending traffic, 200 with snapshot
+// identity and degradation state otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
 	writeJSON(w, map[string]any{
-		"status":   "ok",
-		"family":   s.snap.Meta.Family,
-		"graph":    s.g.Name(),
-		"n":        s.g.N(),
-		"m":        s.g.M(),
-		"oracle":   s.oracle(),
-		"uptime_s": time.Since(s.start).Seconds(),
+		"status":      "ok",
+		"family":      s.snap.Meta.Family,
+		"graph":       s.g.Name(),
+		"n":           s.g.N(),
+		"m":           s.g.M(),
+		"oracle":      s.oracle(),
+		"degraded":    s.degradedNow(),
+		"quarantined": s.snap.Quarantined,
+		"uptime_s":    time.Since(s.start).Seconds(),
 	})
 }
 
@@ -60,12 +117,16 @@ type distBatchRequest struct {
 
 type distBatchResponse struct {
 	Dists []int32 `json:"dists"`
+	// Approx marks the batch as served from the approximate tier: every
+	// dist is a landmark upper bound, not an exact distance.
+	Approx bool `json:"approx,omitempty"`
 }
 
-// handleDist answers exact distance queries: GET for one (u, v) pair, POST
-// for a batch.  A batch runs as a single pool task, which is what lets a
-// one-CPU deployment amortise HTTP overhead across thousands of oracle
-// lookups per request.
+// handleDist answers distance queries: GET for one (u, v) pair, POST for a
+// batch.  A batch runs as a single pool task, which is what lets a one-CPU
+// deployment amortise HTTP overhead across thousands of oracle lookups per
+// request.  Under overload a single GET degrades inline to the landmark
+// tier (no worker needed, answer marked approx); batches are shed.
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -74,13 +135,32 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			var v graph.NodeID
 			v, err = s.nodeParam(r, "v")
 			if err == nil {
+				if !s.admit(w, r) {
+					return
+				}
 				var d int32
-				if poolErr := s.pool.Do(r.Context(), func(*Shard) { d = s.distance(u, v) }); poolErr != nil {
-					s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", poolErr)
+				var approx bool
+				poolErr := s.pool.TryDo(func(*Shard) { d, approx = s.distance(u, v) })
+				if errors.Is(poolErr, ErrOverloaded) {
+					if s.landmark == nil {
+						s.shedRequest(w)
+						return
+					}
+					// Degrade instead of shedding: a landmark bound costs
+					// O(k) right here on the handler goroutine, no worker
+					// slot needed.
+					d, approx = s.landmark.Dist(u, v), true
+				} else if poolErr != nil {
+					s.poolError(w, poolErr)
 					return
 				}
 				s.distQueries.Add(1)
-				writeJSON(w, map[string]any{"u": u, "v": v, "dist": d})
+				resp := map[string]any{"u": u, "v": v, "dist": d}
+				if approx {
+					s.approxAnswers.Add(1)
+					resp["approx"] = true
+				}
+				writeJSON(w, resp)
 				return
 			}
 		}
@@ -102,16 +182,29 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		if !s.admit(w, r) {
+			return
+		}
 		resp := distBatchResponse{Dists: make([]int32, len(req.Pairs))}
-		if err := s.pool.Do(r.Context(), func(*Shard) {
+		err := s.pool.TryDo(func(*Shard) {
 			for i, p := range req.Pairs {
-				resp.Dists[i] = s.distance(p[0], p[1])
+				var approx bool
+				resp.Dists[i], approx = s.distance(p[0], p[1])
+				resp.Approx = resp.Approx || approx
 			}
-		}); err != nil {
-			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+		})
+		if errors.Is(err, ErrOverloaded) {
+			s.shedRequest(w)
+			return
+		}
+		if err != nil {
+			s.poolError(w, err)
 			return
 		}
 		s.distQueries.Add(int64(len(req.Pairs)))
+		if resp.Approx {
+			s.approxAnswers.Add(int64(len(req.Pairs)))
+		}
 		writeJSON(w, resp)
 	default:
 		s.httpError(w, http.StatusMethodNotAllowed, "use GET for single queries, POST for batches")
@@ -119,14 +212,18 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 }
 
 type routeResult struct {
-	S         graph.NodeID   `json:"s"`
-	T         graph.NodeID   `json:"t"`
-	Dist      int32          `json:"dist"`
-	Steps     int            `json:"steps"`
-	LongLinks int            `json:"long_links"`
-	Reached   bool           `json:"reached"`
-	Error     string         `json:"error,omitempty"`
-	Path      []graph.NodeID `json:"path,omitempty"`
+	S         graph.NodeID `json:"s"`
+	T         graph.NodeID `json:"t"`
+	Dist      int32        `json:"dist"`
+	Steps     int          `json:"steps"`
+	LongLinks int          `json:"long_links"`
+	Reached   bool         `json:"reached"`
+	// Approx marks a degraded answer: the distance is a landmark bound,
+	// the steering was approximate, or the contact table had repaired
+	// (re-sampled) rows when the trial ran.
+	Approx bool           `json:"approx,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	Path   []graph.NodeID `json:"path,omitempty"`
 }
 
 type routeBatchRequest struct {
@@ -136,13 +233,15 @@ type routeBatchRequest struct {
 	Trace  bool       `json:"trace"`
 }
 
-// routeOne runs one deterministic greedy trial on the frozen draw.  Routing
-// errors (disconnected pair, for instance) are reported per-result, not as
-// HTTP failures, so a batch with one unreachable pair still returns the
-// other answers.
+// routeOne runs one greedy trial on the live draw.  Routing errors
+// (disconnected pair, for instance) are reported per-result, not as HTTP
+// failures, so a batch with one unreachable pair still returns the other
+// answers.
 func (s *Server) routeOne(sh *Shard, inst routeInstance, from, to graph.NodeID, trace bool) routeResult {
-	res := routeResult{S: from, T: to, Dist: s.distance(from, to)}
-	out, err := route.Greedy(s.g, inst.inst, from, to, s.targetSource(to),
+	d, dApprox := s.distance(from, to)
+	src, srcApprox := s.targetSource(to)
+	res := routeResult{S: from, T: to, Dist: d, Approx: dApprox || srcApprox || inst.approx}
+	out, err := route.Greedy(s.g, inst.inst, from, to, src,
 		sh.RNG, route.Options{Trace: trace, Scratch: sh.Scratch})
 	if err != nil {
 		res.Error = err.Error()
@@ -152,34 +251,42 @@ func (s *Server) routeOne(sh *Shard, inst routeInstance, from, to graph.NodeID, 
 	res.LongLinks = out.LongLinksUsed
 	res.Reached = out.Reached
 	res.Path = out.Path
+	if res.Approx {
+		s.approxAnswers.Add(1)
+	}
 	return res
 }
 
-// routeInstance is a resolved (scheme, draw) pair: the frozen contact
-// table to route over, with the names echoed back in responses.
+// routeInstance is a resolved (scheme, draw) pair: the contact table to
+// route over, with the names echoed back in responses.  approx is true
+// when the table currently carries quarantine-repaired rows.
 type routeInstance struct {
 	scheme string
 	draw   int
 	inst   augment.Instance
+	approx bool
 }
 
 // frozenInstance resolves a scheme name ("" = first packed) and draw index
-// against the instances pre-built in New, so the request path never
+// against the live tables pre-built in New, so the request path never
 // re-validates a contact table.
 func (s *Server) frozenInstance(scheme string, draw int) (routeInstance, error) {
 	st, err := s.snap.Scheme(scheme)
 	if err != nil {
 		return routeInstance{}, err
 	}
-	insts := s.instances[st.Name]
+	insts := s.live[st.Name]
 	if draw < 0 || draw >= len(insts) {
 		return routeInstance{}, fmt.Errorf("scheme %s has %d draws, requested %d", st.Name, len(insts), draw)
 	}
-	return routeInstance{scheme: st.Name, draw: draw, inst: insts[draw]}, nil
+	inst, approx := insts[draw].load()
+	return routeInstance{scheme: st.Name, draw: draw, inst: inst, approx: approx}, nil
 }
 
 // handleRoute runs greedy routing trials over a frozen augmentation: GET
-// for one (s, t) pair, POST for a batch sharing one scheme/draw.
+// for one (s, t) pair, POST for a batch sharing one scheme/draw.  Routing
+// needs a worker's scratch, so overload sheds (429) rather than degrading
+// inline.
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -207,11 +314,19 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		trace := q.Get("trace") == "1" || q.Get("trace") == "true"
+		if !s.admit(w, r) {
+			return
+		}
 		var res routeResult
-		if poolErr := s.pool.Do(r.Context(), func(sh *Shard) {
+		poolErr := s.pool.TryDo(func(sh *Shard) {
 			res = s.routeOne(sh, inst, from, to, trace)
-		}); poolErr != nil {
-			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", poolErr)
+		})
+		if errors.Is(poolErr, ErrOverloaded) {
+			s.shedRequest(w)
+			return
+		}
+		if poolErr != nil {
+			s.poolError(w, poolErr)
 			return
 		}
 		s.routeQueries.Add(1)
@@ -238,13 +353,21 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		if !s.admit(w, r) {
+			return
+		}
 		results := make([]routeResult, len(req.Pairs))
-		if err := s.pool.Do(r.Context(), func(sh *Shard) {
+		poolErr := s.pool.TryDo(func(sh *Shard) {
 			for i, p := range req.Pairs {
 				results[i] = s.routeOne(sh, inst, p[0], p[1], req.Trace)
 			}
-		}); err != nil {
-			s.httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+		})
+		if errors.Is(poolErr, ErrOverloaded) {
+			s.shedRequest(w)
+			return
+		}
+		if poolErr != nil {
+			s.poolError(w, poolErr)
 			return
 		}
 		s.routeQueries.Add(int64(len(req.Pairs)))
@@ -259,6 +382,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i := range s.snap.Schemes {
 		schemes = append(schemes, s.snap.Schemes[i].Name)
 	}
+	tier, _ := s.tier()
+	landmarks := 0
+	if s.landmark != nil {
+		landmarks = s.landmark.K()
+	}
 	writeJSON(w, map[string]any{
 		"family":         s.snap.Meta.Family,
 		"graph":          s.g.Name(),
@@ -266,13 +394,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"m":              s.g.M(),
 		"seed":           s.snap.Meta.Seed,
 		"oracle":         s.oracle(),
+		"tier":           tier,
+		"degraded":       s.degradedNow(),
+		"quarantined":    s.snap.Quarantined,
+		"draining":       s.draining.Load(),
 		"schemes":        schemes,
 		"workers":        s.opts.Workers,
+		"queue_depth":    s.opts.QueueDepth,
+		"landmarks":      landmarks,
+		"breakers_open":  s.pool.TrippedBreakers(),
 		"uptime_s":       time.Since(s.start).Seconds(),
 		"requests":       s.requests.Load(),
 		"dist_queries":   s.distQueries.Load(),
 		"route_queries":  s.routeQueries.Load(),
 		"errors":         s.errors.Load(),
+		"shed":           s.shed.Load(),
+		"panics":         s.panics.Load(),
+		"repairs":        s.repairs.Load(),
+		"approx_answers": s.approxAnswers.Load(),
+		"timeouts":       s.timeouts.Load(),
 		"peak_rss_bytes": peakRSSBytes(),
 		"goroutines":     runtime.NumGoroutine(),
 		"cached_fields":  s.fields.Len(),

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -49,6 +50,12 @@ type LoadOptions struct {
 	// (defaults: first packed scheme, draw 0).
 	Scheme string
 	Draw   int
+	// Retries is the per-request retry budget on retryable failures (429,
+	// 5xx, timeouts, connection errors), with capped exponential backoff
+	// plus jitter between attempts.  Default 0: off — a load generator
+	// that silently retries hides exactly the overload behaviour this one
+	// exists to measure, so retries are strictly opt-in.
+	Retries int
 }
 
 // Percentiles are latency quantiles in milliseconds.
@@ -63,18 +70,32 @@ type Percentiles struct {
 
 // LoadResult is the measured outcome of RunLoad, shaped for BENCH_serve.json.
 type LoadResult struct {
-	Mode          string      `json:"mode"`
-	KeyDist       string      `json:"key_dist"`
-	Batch         int         `json:"batch"`
-	Conns         int         `json:"conns"`
-	OpenLoop      bool        `json:"open_loop"`
-	TargetRate    float64     `json:"target_rate_rps,omitempty"`
-	DurationS     float64     `json:"duration_s"`
-	Requests      int64       `json:"requests"`
-	Queries       int64       `json:"queries"`
-	Errors        int64       `json:"errors"`
+	Mode       string  `json:"mode"`
+	KeyDist    string  `json:"key_dist"`
+	Batch      int     `json:"batch"`
+	Conns      int     `json:"conns"`
+	OpenLoop   bool    `json:"open_loop"`
+	TargetRate float64 `json:"target_rate_rps,omitempty"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int64   `json:"requests"`
+	Queries    int64   `json:"queries"`
+	// OK counts requests that ended in a 2xx (after retries, when
+	// enabled); Errors = Requests − OK.  The taxonomy below counts
+	// *attempts* per failure class, so with retries enabled the class
+	// counts can exceed Errors — a request that got a 429 and then
+	// succeeded shows up in Shed429 and OK both.
+	OK         int64 `json:"ok"`
+	Errors     int64 `json:"errors"`
+	Shed429    int64 `json:"shed_429"`
+	Timeouts   int64 `json:"timeouts"`
+	Errors5xx  int64 `json:"errors_5xx"`
+	ConnErrors int64 `json:"conn_errors"`
+	// Retries counts extra attempts spent; 0 unless LoadOptions.Retries
+	// is set.
+	Retries       int64       `json:"retries,omitempty"`
 	RequestsPerS  float64     `json:"requests_per_sec"`
 	QueriesPerS   float64     `json:"queries_per_sec"`
+	GoodputPerS   float64     `json:"goodput_per_sec"`
 	Latency       Percentiles `json:"latency"`
 	ServerFamily  string      `json:"server_family,omitempty"`
 	ServerN       int         `json:"server_n,omitempty"`
@@ -209,14 +230,24 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	var lats []float64
 	for _, lw := range workers {
 		res.Requests += lw.requests
-		res.Errors += lw.errors
+		res.OK += lw.ok
+		res.Shed429 += lw.shed429
+		res.Timeouts += lw.timeouts
+		res.Errors5xx += lw.errors5xx
+		res.ConnErrors += lw.connErrors
+		res.Retries += lw.retries
 		lats = append(lats, lw.latencies...)
 	}
+	res.Errors = res.Requests - res.OK
 	res.Queries = res.Requests * int64(opts.Batch)
 	if elapsed > 0 {
 		res.RequestsPerS = float64(res.Requests) / elapsed
 		res.QueriesPerS = float64(res.Queries) / elapsed
+		res.GoodputPerS = float64(res.OK*int64(opts.Batch)) / elapsed
 	}
+	// Percentiles cover only requests that ended OK, measured from their
+	// scheduled send: failed requests report in the taxonomy, not as
+	// (usually fast) latency samples that would flatter the distribution.
 	res.Latency = percentiles(lats)
 
 	if after, err := fetchStats(ctx, client, opts.BaseURL); err == nil {
@@ -291,44 +322,109 @@ func (k *keySampler) draw(rng *xrand.RNG) int32 {
 	return k.alias.Draw(rng)
 }
 
+// attemptClass is the error taxonomy: every attempt lands in exactly one
+// class, and the per-class counters separate "the server shed me" (429)
+// from "the server timed out / was unready" (503, transport timeout) from
+// "the server broke" (other 5xx) from "I never reached it" (connection
+// errors).  Conflating these is how overload incidents get misdiagnosed.
+type attemptClass int
+
+const (
+	attemptOK      attemptClass = iota
+	attemptShed                 // HTTP 429: load shed, retryable
+	attemptTimeout              // HTTP 503 or transport timeout, retryable
+	attempt5xx                  // other 5xx, retryable
+	attemptConn                 // transport/connection error, retryable
+	attemptFatal                // 4xx etc.: retrying cannot help
+)
+
 // loadWorker is one client connection's state; owned by one goroutine.
 type loadWorker struct {
-	opts      LoadOptions
-	client    *http.Client
-	keys      *keySampler
-	rng       *xrand.RNG
-	body      bytes.Buffer
-	requests  int64
-	errors    int64
-	latencies []float64 // milliseconds
+	opts       LoadOptions
+	client     *http.Client
+	keys       *keySampler
+	rng        *xrand.RNG
+	body       bytes.Buffer
+	requests   int64
+	ok         int64
+	shed429    int64
+	timeouts   int64
+	errors5xx  int64
+	connErrors int64
+	retries    int64
+	latencies  []float64 // milliseconds, successful requests only
 }
 
 func (lw *loadWorker) reset() {
-	lw.requests, lw.errors = 0, 0
+	lw.requests, lw.ok = 0, 0
+	lw.shed429, lw.timeouts, lw.errors5xx, lw.connErrors, lw.retries = 0, 0, 0, 0, 0
 	lw.latencies = lw.latencies[:0]
 }
 
-// fire sends one request.  A non-zero scheduled time is the open-loop
-// arrival slot latency is measured from; otherwise (closed loop, warmup)
-// latency starts at the actual send.
+// fire sends one logical request (with retries when enabled).  A non-zero
+// scheduled time is the open-loop arrival slot latency is measured from;
+// otherwise (closed loop, warmup) latency starts at the actual send.
+// Success-after-retry latency includes the backoff — that is the latency
+// the caller experienced.
 func (lw *loadWorker) fire(ctx context.Context, scheduled time.Time) {
 	sent := time.Now()
 	if scheduled.IsZero() {
 		scheduled = sent
 	}
-	err := lw.doRequest(ctx)
-	if ctx.Err() != nil {
+	ok := lw.doRequest(ctx)
+	if ctx.Err() != nil && !ok {
 		return // cancellation mid-request is shutdown, not a server error
 	}
 	lw.requests++
-	if err != nil {
-		lw.errors++
-		return
+	if ok {
+		lw.ok++
+		lw.latencies = append(lw.latencies, float64(time.Since(scheduled))/float64(time.Millisecond))
 	}
-	lw.latencies = append(lw.latencies, float64(time.Since(scheduled))/float64(time.Millisecond))
 }
 
-func (lw *loadWorker) doRequest(ctx context.Context) error {
+// doRequest runs the attempt/backoff loop for one logical request: the
+// same keys are resent on every attempt (a real client retries its
+// request, not a fresh one), each failed attempt is counted in its class,
+// and backoff is exponential from 10ms, capped at 500ms, with up to 25%
+// jitter to keep retry storms from re-synchronising.
+func (lw *loadWorker) doRequest(ctx context.Context) bool {
+	method, url, payload := lw.buildRequest()
+	for attempt := 0; ; attempt++ {
+		c := lw.attempt(ctx, method, url, payload)
+		switch c {
+		case attemptOK:
+			return true
+		case attemptShed:
+			lw.shed429++
+		case attemptTimeout:
+			lw.timeouts++
+		case attempt5xx:
+			lw.errors5xx++
+		case attemptConn:
+			lw.connErrors++
+		case attemptFatal:
+			return false
+		}
+		if attempt >= lw.opts.Retries {
+			return false
+		}
+		back := 10 * time.Millisecond << attempt
+		if back > 500*time.Millisecond {
+			back = 500 * time.Millisecond
+		}
+		back += time.Duration(lw.rng.Intn(int(back)/4 + 1))
+		lw.retries++
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(back):
+		}
+	}
+}
+
+// buildRequest draws the keys and renders the URL (batch 1) or JSON body
+// (batch >1) once per logical request, so retries resend identical work.
+func (lw *loadWorker) buildRequest() (method, url string, payload []byte) {
 	n := int32(lw.keys.n)
 	pair := func() (int32, int32) {
 		u := lw.keys.draw(lw.rng)
@@ -338,11 +434,8 @@ func (lw *loadWorker) doRequest(ctx context.Context) error {
 		}
 		return u, v
 	}
-	var req *http.Request
-	var err error
 	if lw.opts.Batch == 1 {
 		u, v := pair()
-		var url string
 		if lw.opts.Mode == "dist" {
 			url = lw.opts.BaseURL + "/v1/dist?u=" + strconv.Itoa(int(u)) + "&v=" + strconv.Itoa(int(v))
 		} else {
@@ -354,48 +447,67 @@ func (lw *loadWorker) doRequest(ctx context.Context) error {
 				url += "&draw=" + strconv.Itoa(lw.opts.Draw)
 			}
 		}
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	} else {
-		lw.body.Reset()
-		lw.body.WriteString(`{"pairs":[`)
-		for i := 0; i < lw.opts.Batch; i++ {
-			if i > 0 {
-				lw.body.WriteByte(',')
-			}
-			u, v := pair()
-			lw.body.WriteByte('[')
-			lw.body.WriteString(strconv.Itoa(int(u)))
-			lw.body.WriteByte(',')
-			lw.body.WriteString(strconv.Itoa(int(v)))
-			lw.body.WriteByte(']')
-		}
-		lw.body.WriteByte(']')
-		if lw.opts.Mode == "route" && lw.opts.Scheme != "" {
-			lw.body.WriteString(`,"scheme":"` + lw.opts.Scheme + `","draw":` + strconv.Itoa(lw.opts.Draw))
-		}
-		lw.body.WriteByte('}')
-		url := lw.opts.BaseURL + "/v1/" + lw.opts.Mode
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(lw.body.Bytes()))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
+		return http.MethodGet, url, nil
 	}
+	lw.body.Reset()
+	lw.body.WriteString(`{"pairs":[`)
+	for i := 0; i < lw.opts.Batch; i++ {
+		if i > 0 {
+			lw.body.WriteByte(',')
+		}
+		u, v := pair()
+		lw.body.WriteByte('[')
+		lw.body.WriteString(strconv.Itoa(int(u)))
+		lw.body.WriteByte(',')
+		lw.body.WriteString(strconv.Itoa(int(v)))
+		lw.body.WriteByte(']')
+	}
+	lw.body.WriteByte(']')
+	if lw.opts.Mode == "route" && lw.opts.Scheme != "" {
+		lw.body.WriteString(`,"scheme":"` + lw.opts.Scheme + `","draw":` + strconv.Itoa(lw.opts.Draw))
+	}
+	lw.body.WriteByte('}')
+	return http.MethodPost, lw.opts.BaseURL + "/v1/" + lw.opts.Mode, lw.body.Bytes()
+}
+
+// attempt sends once and classifies the outcome.
+func (lw *loadWorker) attempt(ctx context.Context, method, url string, payload []byte) attemptClass {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return err
+		return attemptFatal
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := lw.client.Do(req)
 	if err != nil {
-		return err
+		var t interface{ Timeout() bool }
+		if errors.As(err, &t) && t.Timeout() {
+			return attemptTimeout
+		}
+		return attemptConn
 	}
 	_, copyErr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if copyErr != nil {
-		return copyErr
+		return attemptConn
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %s", resp.Status)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return attemptOK
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return attemptShed
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return attemptTimeout
+	case resp.StatusCode >= 500:
+		return attempt5xx
+	default:
+		return attemptFatal
 	}
-	return nil
 }
 
 // percentiles summarises latencies (ms).

@@ -1,10 +1,12 @@
 package serve
 
 import (
-	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"time"
 
+	"navaug/internal/fault"
 	"navaug/internal/route"
 	"navaug/internal/xrand"
 )
@@ -12,6 +14,20 @@ import (
 // defaultWorkers sizes the pool at one worker per CPU: queries are pure
 // compute, so extra workers only add scratch memory and queueing noise.
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool submission errors, surfaced to handlers as load-shedding (429) and
+// panic-isolation (500) responses respectively.
+var (
+	// ErrOverloaded means the bounded task queue was full at submission:
+	// the request is shed rather than queued without bound.
+	ErrOverloaded = errors.New("serve: worker queue full")
+	// ErrPanicked means the task's closure panicked on the worker; the
+	// worker recovered, rebuilt its scratch and counted the panic — the
+	// request fails, the process does not.
+	ErrPanicked = errors.New("serve: worker panicked")
+	// ErrClosed means the pool shut down before a worker ran the task.
+	ErrClosed = errors.New("serve: pool closed")
+)
 
 // Shard is the per-worker state of the query pool: a reusable routing
 // scratch and a private RNG, owned exclusively by one worker goroutine —
@@ -27,55 +43,163 @@ type Shard struct {
 type task struct {
 	run  func(*Shard)
 	done chan struct{}
+	err  error // written (if at all) before done closes
 }
 
-// pool is a fixed-size worker pool over Shards.  Requests submit closures
-// with Do; each closure runs on exactly one worker with exclusive use of
-// that worker's shard.  Bounding the workers (rather than spawning per
-// request) keeps p99 latency stable under overload: excess requests queue
-// at the channel instead of thrashing the routing scratches.
+// poolConfig wires the pool to its owner: fault injection, per-shard
+// breaker tuning, and the quarantine lifecycle callbacks.  All callbacks
+// run on the worker goroutine that owns the shard, so they may use
+// shard.RNG and shard.Scratch freely.
+type poolConfig struct {
+	n, workers, queue int
+	seed              uint64
+	inj               *fault.Injector
+	breakerThreshold  int
+	breakerCooldown   time.Duration
+	onPanic           func(*Shard) // after every recovered panic
+	onTrip            func(*Shard) // breaker tripped open: quarantine-repair
+	onRestore         func(*Shard) // half-open probe succeeded: restore
+}
+
+// pool is a fixed-size worker pool over Shards with a bounded queue.
+// Requests submit closures with TryDo; each closure runs on exactly one
+// worker with exclusive use of that worker's shard.  A full queue fails
+// submission immediately (ErrOverloaded) instead of queueing without
+// bound, which is what keeps p99 latency finite under overload: excess
+// requests are shed at the door, not parked.  A panicking closure is
+// recovered on the worker — the shard's breaker counts it, and enough
+// consecutive panics quarantine just that shard while the rest of the
+// pool keeps serving.
 type pool struct {
-	tasks chan task
-	wg    sync.WaitGroup
-	once  sync.Once
+	cfg      poolConfig
+	tasks    chan *task
+	stop     chan struct{}
+	breakers []*breaker
+	wg       sync.WaitGroup
+	once     sync.Once
 }
 
-// newPool starts workers goroutines, each owning a Shard sized for an
-// n-node graph.  Worker RNGs are split deterministically from seed.
-func newPool(n, workers int, seed uint64) *pool {
-	p := &pool{tasks: make(chan task, workers)}
-	rngs := xrand.New(seed).SplitN(workers)
-	for i := 0; i < workers; i++ {
-		shard := &Shard{ID: i, Scratch: route.NewScratch(n), RNG: rngs[i]}
+// newPool starts cfg.workers workers, each owning a Shard sized for an
+// n-node graph.  Worker RNGs are split deterministically from cfg.seed.
+func newPool(cfg poolConfig) *pool {
+	p := &pool{
+		cfg:      cfg,
+		tasks:    make(chan *task, cfg.queue),
+		stop:     make(chan struct{}),
+		breakers: make([]*breaker, cfg.workers),
+	}
+	rngs := xrand.New(cfg.seed).SplitN(cfg.workers)
+	for i := 0; i < cfg.workers; i++ {
+		shard := &Shard{ID: i, Scratch: route.NewScratch(cfg.n), RNG: rngs[i]}
+		br := newBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
+		p.breakers[i] = br
 		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for t := range p.tasks {
-				t.run(shard)
-				close(t.done)
-			}
-		}()
+		go p.worker(shard, br)
 	}
 	return p
 }
 
-// Do runs fn on some worker's shard and waits for it to finish.  It
-// returns early (without running fn) only when ctx is cancelled before a
-// worker picks the task up.
-func (p *pool) Do(ctx context.Context, fn func(*Shard)) error {
-	t := task{run: fn, done: make(chan struct{})}
-	select {
-	case p.tasks <- t:
-	case <-ctx.Done():
-		return ctx.Err()
+// worker is the shard's serving loop.  While the shard's breaker is open
+// the worker refuses to pull tasks — they stay on the shared queue for
+// healthy shards — and polls for the half-open transition.
+func (p *pool) worker(shard *Shard, br *breaker) {
+	defer p.wg.Done()
+	poll := p.cfg.breakerCooldown / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
 	}
-	<-t.done
-	return nil
+	for {
+		if !br.Allow() {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(poll):
+			}
+			continue
+		}
+		t, ok := <-p.tasks
+		if !ok {
+			return
+		}
+		p.runTask(shard, br, t)
+	}
 }
 
-// Close stops the workers after the queued tasks drain.  Do must not be
-// called after Close.
+// runTask executes one task under the shard's panic shield and breaker.
+// Fault hooks fire here — a stalled shard sleeps, a poisoned shard panics
+// — precisely because this is the layer the robustness machinery guards.
+func (p *pool) runTask(shard *Shard, br *breaker, t *task) {
+	defer close(t.done)
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+			}
+		}()
+		if d := p.cfg.inj.StallDelay(shard.ID); d > 0 {
+			time.Sleep(d)
+		}
+		if p.cfg.inj.InjectPanic(shard.ID) {
+			panic("fault: injected worker panic")
+		}
+		t.run(shard)
+	}()
+	if panicked {
+		t.err = ErrPanicked
+		// The scratch may hold a half-finished trial; rebuild it so the
+		// shard's next answer starts clean.
+		shard.Scratch = route.NewScratch(p.cfg.n)
+		if p.cfg.onPanic != nil {
+			p.cfg.onPanic(shard)
+		}
+		if br.Fail() && p.cfg.onTrip != nil {
+			p.cfg.onTrip(shard)
+		}
+		return
+	}
+	if br.Success() && p.cfg.onRestore != nil {
+		p.cfg.onRestore(shard)
+	}
+}
+
+// TryDo runs fn on some worker's shard and waits for it to finish.  It
+// never blocks on a full queue: submission either lands in the bounded
+// queue or fails with ErrOverloaded on the spot.  ErrPanicked reports that
+// fn started but died; the worker survived it.
+func (p *pool) TryDo(fn func(*Shard)) error {
+	t := &task{run: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+	default:
+		return ErrOverloaded
+	}
+	<-t.done
+	return t.err
+}
+
+// TrippedBreakers counts shards currently quarantined or probing.
+func (p *pool) TrippedBreakers() int {
+	n := 0
+	for _, br := range p.breakers {
+		if br.Tripped() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the workers after the queued tasks drain; tasks stranded by
+// quarantined workers fail with ErrClosed so no TryDo caller blocks
+// forever.  TryDo must not be called after Close.
 func (p *pool) Close() {
-	p.once.Do(func() { close(p.tasks) })
+	p.once.Do(func() {
+		close(p.stop)
+		close(p.tasks)
+	})
 	p.wg.Wait()
+	for t := range p.tasks {
+		t.err = ErrClosed
+		close(t.done)
+	}
 }

@@ -6,8 +6,10 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /v1/healthz            liveness plus snapshot identity
-//	GET  /v1/dist?u=&v=         one exact distance
+//	GET  /v1/livez              liveness: 200 while the process serves
+//	GET  /v1/readyz             readiness: 503 while draining
+//	GET  /v1/healthz            readiness plus snapshot identity
+//	GET  /v1/dist?u=&v=         one distance
 //	POST /v1/dist               {"pairs":[[u,v],...]} batched distances
 //	GET  /v1/route?s=&t=        one greedy routing trial (scheme=, draw=,
 //	                            trace=1 optional)
@@ -18,10 +20,20 @@
 // route.Scratch and RNG (the sim.Engine worker discipline), so the hot
 // path is lock-free and allocation-free per routing hop.  Distances come
 // from the snapshot's O(1) tier — the analytic metric or the packed 2-hop
-// labels — and fall back to a bounded BFS field cache when the snapshot
-// packs neither.  Routing always uses the frozen contact tables, so every
-// /v1/route answer is fully deterministic and reproducible from the
-// snapshot file alone.
+// labels — and fall back down the degradation ladder (BFS field cache,
+// then approximate landmark bounds) when tiers are missing, quarantined or
+// unaffordable; see degrade.go.  Routing uses the frozen contact tables,
+// so every healthy /v1/route answer is fully deterministic and
+// reproducible from the snapshot file alone; degraded answers carry
+// "approx": true.
+//
+// The serving stack is built to stay up under faults: the task queue is
+// bounded and overflows shed with 429 + Retry-After rather than queueing
+// without bound, worker panics are recovered and counted, and a shard
+// whose tasks keep dying is circuit-broken — quarantined, locally
+// repaired, probed, and restored (pool.go, breaker.go).  The fault layer
+// (internal/fault) injects the corresponding failures deterministically;
+// a nil injector costs nothing.
 package serve
 
 import (
@@ -32,14 +44,19 @@ import (
 
 	"navaug/internal/augment"
 	"navaug/internal/dist"
+	"navaug/internal/fault"
 	"navaug/internal/graph"
 	"navaug/internal/snapshot"
+	"navaug/internal/xrand"
 )
 
 // Options configures a Server.
 type Options struct {
 	// Workers is the query pool size; 0 means one per CPU.
 	Workers int
+	// QueueDepth bounds the worker task queue; submissions beyond it are
+	// shed with 429.  Default max(16, 4×Workers).
+	QueueDepth int
 	// RequestTimeout bounds each request end to end (default 2s); the
 	// handler chain is wrapped in http.TimeoutHandler.
 	RequestTimeout time.Duration
@@ -50,15 +67,35 @@ type Options struct {
 	// FieldCacheSize is the per-target BFS field cache capacity used only
 	// when the snapshot packs no O(1) distance tier (default 64 fields).
 	FieldCacheSize int
-	// Seed drives the worker RNG split (default 1).  It only matters for
-	// hypothetical non-frozen augmentations; all current query answers are
-	// seed-independent.
+	// Landmarks is the landmark count of the approximate degraded tier,
+	// built once at startup (default 16; negative disables the tier, and
+	// with it the approximate rung of the ladder).
+	Landmarks int
+	// BreakerThreshold is the consecutive-panic count that trips a shard's
+	// circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped shard stays quarantined before
+	// a half-open probe (default 250ms).
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, threads a deterministic fault-injection
+	// schedule through the stack; nil (the default) injects nothing and
+	// costs nothing on the hot path.
+	Faults *fault.Injector
+	// Seed drives the worker RNG split (default 1).  Frozen draws make all
+	// healthy answers seed-independent; the seed shows only in the fresh
+	// contact rows a quarantine-repair samples.
 	Seed uint64
 }
 
 func (o *Options) fill() {
 	if o.Workers <= 0 {
 		o.Workers = defaultWorkers()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+		if o.QueueDepth < 16 {
+			o.QueueDepth = 16
+		}
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 2 * time.Second
@@ -69,6 +106,15 @@ func (o *Options) fill() {
 	if o.FieldCacheSize <= 0 {
 		o.FieldCacheSize = 64
 	}
+	if o.Landmarks == 0 {
+		o.Landmarks = 16
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -78,32 +124,43 @@ func (o *Options) fill() {
 type Server struct {
 	snap   *snapshot.Snapshot
 	g      *graph.Graph
-	src    dist.Source      // O(1) tier; nil → field-cache fallback
-	fields *dist.FieldCache // lazy BFS fallback, always non-nil
-	// instances are the frozen augment.Static tables, validated once at
-	// construction and shared read-only by every worker.
-	instances map[string][]augment.Instance
-	pool      *pool
-	opts      Options
-	start     time.Time
-	mux       *http.ServeMux
+	src    dist.Source      // O(1) tier; nil → ladder below it
+	fields *dist.FieldCache // BFS field tier, always non-nil
+	// landmark is the approximate bottom tier, nil when disabled.
+	landmark *dist.LandmarkOracle
+	// live holds the frozen augment tables with their repair overlays,
+	// validated once at construction and shared by every worker.
+	live  map[string][]*liveInstance
+	pool  *pool
+	opts  Options
+	start time.Time
+	mux   *http.ServeMux
 
-	requests     atomic.Int64
-	distQueries  atomic.Int64
-	routeQueries atomic.Int64
-	errors       atomic.Int64
+	draining atomic.Bool
+
+	requests      atomic.Int64
+	distQueries   atomic.Int64
+	routeQueries  atomic.Int64
+	errors        atomic.Int64
+	shed          atomic.Int64
+	panics        atomic.Int64
+	repairs       atomic.Int64
+	approxAnswers atomic.Int64
+	timeouts      atomic.Int64
 }
 
 // New builds a Server over a loaded snapshot.  The snapshot must contain a
 // graph (snapshot.ReadBytes guarantees it); everything else is optional
-// and degrades gracefully: no O(1) tier → BFS field fallback, no frozen
-// schemes → /v1/route returns an explanatory error.
+// and degrades gracefully: no O(1) tier → the ladder's lower rungs, no
+// frozen schemes → /v1/route returns an explanatory error.  Quarantined
+// sections (from snapshot.ReadBytesTolerant) simply leave their tier
+// absent — the server starts degraded instead of not at all.
 func New(snap *snapshot.Snapshot, opts Options) (*Server, error) {
 	if snap == nil || snap.Graph == nil {
 		return nil, fmt.Errorf("serve: snapshot has no graph")
 	}
 	opts.fill()
-	instances := make(map[string][]augment.Instance, len(snap.Schemes))
+	live := make(map[string][]*liveInstance, len(snap.Schemes))
 	for i := range snap.Schemes {
 		st := &snap.Schemes[i]
 		for k := range st.Draws {
@@ -111,20 +168,42 @@ func New(snap *snapshot.Snapshot, opts Options) (*Server, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: scheme %s draw %d: %w", st.Name, k, err)
 			}
-			instances[st.Name] = append(instances[st.Name], inst)
+			static, ok := inst.(*augment.Static)
+			if !ok {
+				return nil, fmt.Errorf("serve: scheme %s draw %d is not a frozen table", st.Name, k)
+			}
+			live[st.Name] = append(live[st.Name], newLiveInstance(st.Name, k, static))
 		}
 	}
 	s := &Server{
-		snap:      snap,
-		g:         snap.Graph,
-		src:       snap.Source(),
-		fields:    dist.NewFieldCache(snap.Graph, opts.FieldCacheSize),
-		instances: instances,
-		pool:      newPool(snap.Graph.N(), opts.Workers, opts.Seed),
-		opts:      opts,
-		start:     time.Now(),
+		snap:   snap,
+		g:      snap.Graph,
+		src:    snap.Source(),
+		fields: dist.NewFieldCache(snap.Graph, opts.FieldCacheSize),
+		live:   live,
+		opts:   opts,
+		start:  time.Now(),
 	}
+	if opts.Landmarks > 0 && snap.Graph.N() > 0 {
+		// A derived seed keeps the landmark choice independent of the
+		// worker RNG streams split from opts.Seed in newPool.
+		s.landmark = dist.NewLandmarkOracle(snap.Graph, opts.Landmarks, xrand.New(opts.Seed).Split())
+	}
+	s.pool = newPool(poolConfig{
+		n:                snap.Graph.N(),
+		workers:          opts.Workers,
+		queue:            opts.QueueDepth,
+		seed:             opts.Seed,
+		inj:              opts.Faults,
+		breakerThreshold: opts.BreakerThreshold,
+		breakerCooldown:  opts.BreakerCooldown,
+		onPanic:          func(*Shard) { s.panics.Add(1) },
+		onTrip:           s.repairShard,
+		onRestore:        s.restoreShard,
+	})
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/livez", s.handleLivez)
+	s.mux.HandleFunc("/v1/readyz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
@@ -132,21 +211,42 @@ func New(snap *snapshot.Snapshot, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the full middleware chain: counting, then the mux, all
-// under the request timeout.
+// Handler returns the full middleware chain: counting and injected
+// request-level latency, then the mux, all under the request timeout.
 func (s *Server) Handler() http.Handler {
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if d := s.opts.Faults.RequestDelay(); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				s.timeouts.Add(1)
+				return // TimeoutHandler already answered 503
+			}
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 	return http.TimeoutHandler(counted, s.opts.RequestTimeout,
 		`{"error":"request timed out"}`)
 }
 
+// BeginDrain flips the server to draining: /v1/readyz (and /v1/healthz)
+// answer 503 so load balancers stop routing here, while in-flight and
+// already-accepted requests keep being served.  The caller then runs its
+// http.Server.Shutdown, which waits for those in-flight requests.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close stops the worker pool.  In-flight pool tasks finish first.
 func (s *Server) Close() { s.pool.Close() }
 
-// oracle names the distance tier answering queries, for /v1/stats and logs.
+// oracle names the snapshot's packed O(1) distance tier for /v1/stats and
+// logs ("field-cache" when it packs none — or when the tier was
+// quarantined at load).
 func (s *Server) oracle() string {
 	switch {
 	case s.snap.Metric != nil:
@@ -158,19 +258,49 @@ func (s *Server) oracle() string {
 	}
 }
 
-// distance answers one exact distance query through the fastest available
-// tier.
-func (s *Server) distance(u, v graph.NodeID) int32 {
+// memPressure reports simulated memory pressure from the fault schedule.
+func (s *Server) memPressure() bool { return s.opts.Faults.MemoryPressure() }
+
+// tier resolves the ladder for the current instant.
+func (s *Server) tier() (string, bool) {
+	exact := ""
 	if s.src != nil {
-		return s.src.Dist(u, v)
+		exact = s.oracle()
 	}
-	return s.fields.Field(v)[u]
+	return selectTier(exact, !s.memPressure(), s.landmark != nil)
 }
 
-// targetSource returns a dist.Source rooted at t for routing.
-func (s *Server) targetSource(t graph.NodeID) dist.Source {
-	if s.src != nil {
-		return s.src
+// degradedNow reports whether answers may currently deviate from the
+// healthy, snapshot-frozen ones: a section was quarantined at load, a
+// shard repair is live, or the ladder is on its approximate rung.
+func (s *Server) degradedNow() bool {
+	if len(s.snap.Quarantined) > 0 || s.repairActive() {
+		return true
 	}
-	return dist.NewField(s.fields.Field(t), t)
+	_, approx := s.tier()
+	return approx
+}
+
+// distance answers one distance query through the current tier; approx is
+// true when the answer is a landmark upper bound rather than exact.
+func (s *Server) distance(u, v graph.NodeID) (int32, bool) {
+	if s.src != nil {
+		return s.src.Dist(u, v), false
+	}
+	if _, approx := s.tier(); approx {
+		return s.landmark.Dist(u, v), true
+	}
+	return s.fields.Field(v)[u], false
+}
+
+// targetSource returns a dist.Source rooted at t for routing, with the
+// same approx contract as distance.
+func (s *Server) targetSource(t graph.NodeID) (dist.Source, bool) {
+	if s.src != nil {
+		return s.src, false
+	}
+	if _, approx := s.tier(); approx {
+		return s.landmark, true
+	}
+	return dist.NewField(s.fields.Field(t), t), false
 }

@@ -1,0 +1,153 @@
+package snapshot
+
+// Crash-safety for WriteFile, proven with a real kill: the parent test
+// re-executes this test binary as a helper process that starts a WriteFile
+// and blocks mid-write (via writeStallHook), then SIGKILLs it and inspects
+// the destination directory.  The contract: no half-written bytes are ever
+// reachable under the final name — a killed fresh write leaves the final
+// path absent, a killed overwrite leaves the previous file byte-identical —
+// and whatever temp residue remains is not loadable by either reader.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"navaug/internal/graph/gen"
+)
+
+// crashSnapshot builds a deterministic snapshot big enough to span several
+// write chunks, so the helper reliably blocks with a partial temp file.
+func crashSnapshot() *Snapshot {
+	g := gen.Path(60000) // ~1 MiB serialised, ≫ writeChunk
+	return &Snapshot{
+		Meta:  Meta{Tool: "crash-test", FormatVersion: FormatVersion, Family: "path", N: g.N(), M: g.M(), Seed: 1},
+		Graph: g,
+	}
+}
+
+// TestWriteFileKillHelper is not a test: it is the body of the helper
+// process.  It fsyncs after the first chunk, drops a marker file so the
+// parent knows the write is mid-flight, and blocks until killed.
+func TestWriteFileKillHelper(t *testing.T) {
+	dir := os.Getenv("NAVSNAP_CRASH_DIR")
+	if dir == "" {
+		t.Skip("helper body; driven by TestWriteFileKillDuringWrite")
+	}
+	writeStallHook = func(written int, f *os.File) {
+		f.Sync() // make the partial temp file durable before advertising it
+		if written >= writeChunk {
+			if err := os.WriteFile(filepath.Join(dir, "midwrite.marker"), []byte("x"), 0o644); err != nil {
+				os.Exit(3)
+			}
+			select {} // hold the write open until the parent kills us
+		}
+	}
+	crashSnapshot().WriteFile(filepath.Join(dir, "out.navsnap"))
+	os.Exit(2) // unreachable unless the kill never came
+}
+
+func runKilledWrite(t *testing.T, dir string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestWriteFileKillHelper$")
+	cmd.Env = append(os.Environ(), "NAVSNAP_CRASH_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper: %v", err)
+	}
+	marker := filepath.Join(dir, "midwrite.marker")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("helper never reached mid-write")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmd.Process.Signal(syscall.SIGKILL)
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatal("helper exited cleanly; the kill landed after the write")
+	}
+}
+
+func TestWriteFileKillDuringWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a helper process")
+	}
+	final := "out.navsnap"
+
+	t.Run("fresh", func(t *testing.T) {
+		dir := t.TempDir()
+		runKilledWrite(t, dir)
+		if _, err := os.Stat(filepath.Join(dir, final)); !os.IsNotExist(err) {
+			t.Fatalf("killed fresh write left something under the final name (stat err: %v)", err)
+		}
+		assertTempResidueUnloadable(t, dir)
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		dir := t.TempDir()
+		// A valid, different snapshot already lives at the final path.
+		old := &Snapshot{Meta: Meta{Tool: "crash-test", FormatVersion: FormatVersion, Family: "path", N: 100, M: 99, Seed: 7}, Graph: gen.Path(100)}
+		path := filepath.Join(dir, final)
+		if err := old.WriteFile(path); err != nil {
+			t.Fatalf("seeding old snapshot: %v", err)
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runKilledWrite(t, dir)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("old snapshot gone after killed overwrite: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("old snapshot bytes changed under a killed overwrite")
+		}
+		if _, err := ReadFile(path); err != nil {
+			t.Fatalf("old snapshot no longer loads: %v", err)
+		}
+		assertTempResidueUnloadable(t, dir)
+	})
+}
+
+// assertTempResidueUnloadable confirms any leftover temp file is (a) named
+// so no server would open it and (b) rejected by both readers anyway.
+func assertTempResidueUnloadable(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTemp := false
+	for _, e := range entries {
+		name := e.Name()
+		if name == "midwrite.marker" || name == "out.navsnap" {
+			continue
+		}
+		if !strings.HasPrefix(name, ".navsnap-tmp-") {
+			t.Fatalf("unexpected residue %q after killed write", name)
+		}
+		sawTemp = true
+		p := filepath.Join(dir, name)
+		if _, err := ReadFile(p); err == nil {
+			t.Fatalf("half-written temp file %q loads strictly", name)
+		}
+		if _, err := ReadFileTolerant(p); err == nil {
+			t.Fatalf("half-written temp file %q loads tolerantly", name)
+		}
+	}
+	if !sawTemp {
+		t.Fatal("no temp residue found; the helper was killed in the wrong state")
+	}
+}

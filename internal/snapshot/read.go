@@ -28,6 +28,23 @@ func ReadFile(path string) (*Snapshot, error) {
 	return s, nil
 }
 
+// ReadFileTolerant is ReadFile under the tolerant (quarantining) reader:
+// the file must still be structurally sound, but damaged optional
+// sections are dropped into Snapshot.Quarantined instead of failing the
+// load.  This is the serving-stack load path: a snapshot with a corrupt
+// 2-hop section still serves, degraded, rather than refusing to start.
+func ReadFileTolerant(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ReadBytesTolerant(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
 // Read loads a snapshot from a stream (convenience over ReadBytes).
 func Read(r io.Reader) (*Snapshot, error) {
 	b, err := io.ReadAll(r)
@@ -48,7 +65,18 @@ func Read(r io.Reader) (*Snapshot, error) {
 // payload before any slice is materialised, and finally the semantic
 // invariants of each artefact (graph.FromCSR, dist.TwoHopFromRaw, contact
 // ranges, cross-section consistency).
-func ReadBytes(b []byte) (*Snapshot, error) {
+func ReadBytes(b []byte) (*Snapshot, error) { return readBytes(b, false) }
+
+// ReadBytesTolerant is ReadBytes with load-time quarantine: structural
+// damage (header, section table, layout) and damage to the mandatory meta
+// and graph sections still fail the load, but a checksum mismatch or parse
+// error in an *optional* section (metric, twohop, scheme) drops just that
+// section, recording it in Snapshot.Quarantined.  The returned snapshot is
+// fully usable minus the quarantined artefacts — exactly the degraded
+// state the serve layer's answer ladder is built for.
+func ReadBytesTolerant(b []byte) (*Snapshot, error) { return readBytes(b, true) }
+
+func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 	if len(b) < headerSize {
 		return nil, fmt.Errorf("snapshot: %d bytes is shorter than the %d-byte header", len(b), headerSize)
 	}
@@ -73,7 +101,23 @@ func ReadBytes(b []byte) (*Snapshot, error) {
 	s := &Snapshot{}
 	var sawMeta, sawGraph, sawMetric, sawTwoHop bool
 	var pendingTwoHop *cursor
-	var pendingSchemes []*cursor
+	type schemePending struct {
+		idx int // per-kind index, for the quarantine name
+		c   *cursor
+	}
+	var pendingSchemes []schemePending
+	schemeIdx := 0
+	// quarantine drops one optional section under the tolerant reader.
+	quarantine := func(kind uint32) {
+		switch kind {
+		case kindMetric:
+			s.Quarantined = append(s.Quarantined, "metric")
+		case kindTwoHop:
+			s.Quarantined = append(s.Quarantined, "twohop")
+		case kindScheme:
+			s.Quarantined = append(s.Quarantined, fmt.Sprintf("scheme[%d]", schemeIdx))
+		}
+	}
 	prevEnd := uint64(tableEnd)
 	for i := 0; i < int(count); i++ {
 		e := b[headerSize+sectionEntrySize*i:]
@@ -104,6 +148,29 @@ func ReadBytes(b []byte) (*Snapshot, error) {
 		prevEnd = offset + length
 		payload := b[offset : offset+length]
 		if got := crc64.Checksum(payload, crcTable); got != sum {
+			if tolerant && (kind == kindMetric || kind == kindTwoHop || kind == kindScheme) {
+				// The layout bookkeeping above already validated this slab's
+				// place in the file; only its contents are damaged.  Keep the
+				// saw-flags honest (a duplicate of a quarantined section is
+				// still a duplicate) and drop just this artefact.
+				switch kind {
+				case kindMetric:
+					if sawMetric {
+						return nil, fmt.Errorf("snapshot: duplicate metric section")
+					}
+					sawMetric = true
+				case kindTwoHop:
+					if sawTwoHop {
+						return nil, fmt.Errorf("snapshot: duplicate 2-hop section")
+					}
+					sawTwoHop = true
+				}
+				quarantine(kind)
+				if kind == kindScheme {
+					schemeIdx++
+				}
+				continue
+			}
 			return nil, fmt.Errorf("snapshot: section %d (kind %d) checksum mismatch (file %016x, computed %016x)", i, kind, sum, got)
 		}
 		switch kind {
@@ -132,10 +199,14 @@ func ReadBytes(b []byte) (*Snapshot, error) {
 			sawMetric = true
 			c := &cursor{b: payload}
 			name, err := c.str("metric name")
-			if err != nil {
-				return nil, err
+			if err == nil {
+				err = c.done()
 			}
-			if err := c.done(); err != nil {
+			if err != nil {
+				if tolerant {
+					quarantine(kind)
+					continue
+				}
 				return nil, err
 			}
 			s.MetricName = name
@@ -146,7 +217,8 @@ func ReadBytes(b []byte) (*Snapshot, error) {
 			sawTwoHop = true
 			pendingTwoHop = &cursor{b: payload}
 		case kindScheme:
-			pendingSchemes = append(pendingSchemes, &cursor{b: payload})
+			pendingSchemes = append(pendingSchemes, schemePending{idx: schemeIdx, c: &cursor{b: payload}})
+			schemeIdx++
 		default:
 			return nil, fmt.Errorf("snapshot: unknown section kind %d", kind)
 		}
@@ -173,30 +245,51 @@ func ReadBytes(b []byte) (*Snapshot, error) {
 	// The cross-referencing sections parse after the graph regardless of
 	// their order in the table, so their node counts can be checked.
 	if s.MetricName != "" {
-		if s.MetricName != s.Graph.Name() {
-			return nil, fmt.Errorf("snapshot: metric descriptor %q does not match graph name %q", s.MetricName, s.Graph.Name())
+		if err := resolveMetric(s); err != nil {
+			if !tolerant {
+				return nil, err
+			}
+			s.MetricName = ""
+			quarantine(kindMetric)
 		}
-		m, ok := gen.MetricFor(s.Graph)
-		if !ok {
-			return nil, fmt.Errorf("snapshot: metric descriptor %q is not in the gen registry (registry drift?)", s.MetricName)
-		}
-		s.Metric = m
 	}
 	if pendingTwoHop != nil {
 		t, err := decodeTwoHop(pendingTwoHop, s.Graph.N())
 		if err != nil {
-			return nil, err
+			if !tolerant {
+				return nil, err
+			}
+			quarantine(kindTwoHop)
+		} else {
+			s.TwoHop = t
 		}
-		s.TwoHop = t
 	}
-	for _, c := range pendingSchemes {
-		st, err := decodeScheme(c, s.Graph.N())
+	for _, p := range pendingSchemes {
+		st, err := decodeScheme(p.c, s.Graph.N())
 		if err != nil {
-			return nil, err
+			if !tolerant {
+				return nil, err
+			}
+			s.Quarantined = append(s.Quarantined, fmt.Sprintf("scheme[%d]", p.idx))
+			continue
 		}
 		s.Schemes = append(s.Schemes, *st)
 	}
 	return s, nil
+}
+
+// resolveMetric turns the metric descriptor into the live analytic metric,
+// enforcing the cross-section consistency checks of the strict reader.
+func resolveMetric(s *Snapshot) error {
+	if s.MetricName != s.Graph.Name() {
+		return fmt.Errorf("snapshot: metric descriptor %q does not match graph name %q", s.MetricName, s.Graph.Name())
+	}
+	m, ok := gen.MetricFor(s.Graph)
+	if !ok {
+		return fmt.Errorf("snapshot: metric descriptor %q is not in the gen registry (registry drift?)", s.MetricName)
+	}
+	s.Metric = m
+	return nil
 }
 
 func decodeGraph(c *cursor) (*graph.Graph, error) {

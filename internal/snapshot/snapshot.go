@@ -138,6 +138,12 @@ type Snapshot struct {
 	TwoHop *dist.TwoHop
 	// Schemes are the frozen augmentation tables, in section order.
 	Schemes []SchemeTable
+	// Quarantined lists the optional sections a tolerant load (ReadBytesTolerant)
+	// dropped because their checksum or structure was damaged — e.g.
+	// "twohop", "metric", "scheme[2]".  A strict load never populates it:
+	// the same damage is a hard error there.  Servers use it to enter the
+	// degraded answer tier instead of refusing to start.
+	Quarantined []string
 }
 
 // Source returns the snapshot's O(1) point-to-point distance tier: the

@@ -93,28 +93,80 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// WriteFile atomically writes the snapshot to path (temp file + rename, so
-// a crashed writer never leaves a half-written snapshot a server could
-// pick up).
+// writeChunk is the unit of the temp-file write loop; small enough that a
+// kill mid-write reliably lands between chunks in the crash tests, large
+// enough that syscall count stays negligible for real snapshots.
+const writeChunk = 256 << 10
+
+// writeStallHook, when set (by tests only), runs after every chunk lands in
+// the temp file.  The crash-safety test uses it to signal "mid-write" to a
+// parent process that then SIGKILLs this one.
+var writeStallHook func(written int, f *os.File)
+
+// WriteFile crash-safely writes the snapshot to path: the bytes go to a
+// temp file in the destination directory, are fsynced, and only then
+// renamed over path, with the directory fsynced after the rename.  A
+// writer killed at any instant — including `kill -9` mid-write — therefore
+// leaves either the old file intact or the new file complete; the only
+// other residue is an unloadable .navsnap-tmp-* temp file (which never
+// matches a server's -snapshot path).  TestWriteFileKillDuringWrite pins
+// this by killing a real child process mid-write.
 func (s *Snapshot) WriteFile(path string) error {
 	b, err := s.Bytes()
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dirOf(path), ".navsnap-*")
+	tmp, err := os.CreateTemp(dirOf(path), ".navsnap-tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(b); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	for written := 0; written < len(b); {
+		end := written + writeChunk
+		if end > len(b) {
+			end = len(b)
+		}
+		if _, err := tmp.Write(b[written:end]); err != nil {
+			return cleanup(err)
+		}
+		written = end
+		if writeStallHook != nil {
+			writeStallHook(written, tmp)
+		}
+	}
+	// fsync before rename: otherwise a power cut after the rename could
+	// surface the new name pointing at unflushed (zero-filled) data, which
+	// is exactly the half-written state the atomic rename is meant to
+	// exclude.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dirOf(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse fsync on directories don't get to fail the
+// write — the rename itself already happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 func dirOf(path string) string {
