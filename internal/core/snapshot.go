@@ -105,9 +105,11 @@ func BuildSnapshot(opts SnapshotOptions) (*snapshot.Snapshot, *SnapshotBuildStat
 		}
 	case dist.PolicyTwoHop:
 		th = dist.NewTwoHop(g)
+	case dist.PolicyTwoHopPacked:
+		th = dist.NewTwoHopWith(g, dist.TwoHopOptions{Packed: true})
 	case dist.PolicyAuto:
 		if !hasMetric {
-			th = dist.NewTwoHopWith(g, dist.TwoHopOptions{MaxAvgLabel: dist.TwoHopAutoMaxAvgLabel})
+			th = dist.NewTwoHopWith(g, dist.TwoHopOptions{MaxAvgLabel: dist.TwoHopAutoMaxAvgLabel, Packed: true})
 			if th == nil {
 				progress("2-hop build aborted at the %g avg-label budget; packing no O(1) tier", float64(dist.TwoHopAutoMaxAvgLabel))
 			}
@@ -119,8 +121,12 @@ func BuildSnapshot(opts SnapshotOptions) (*snapshot.Snapshot, *SnapshotBuildStat
 	if th != nil {
 		stats.TwoHopAvgLabel = th.AvgLabel()
 		stats.TwoHopMaxLabel = th.MaxLabel()
-		progress("2-hop labels built in %.2fs (avg %.1f, max %d, %.1f MB)",
-			stats.OracleBuild.Seconds(), th.AvgLabel(), th.MaxLabel(), float64(th.MemoryBytes())/1e6)
+		kind := "raw"
+		if th.Packed() {
+			kind = "packed"
+		}
+		progress("2-hop labels built in %.2fs (avg %.1f, max %d, %.1f MB %s)",
+			stats.OracleBuild.Seconds(), th.AvgLabel(), th.MaxLabel(), float64(th.MemoryBytes())/1e6, kind)
 	} else if hasMetric && opts.Oracle != dist.PolicyField {
 		progress("analytic metric %q packed (no label build needed)", g.Name())
 	}

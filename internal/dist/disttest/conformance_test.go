@@ -72,6 +72,15 @@ func TestConformanceTwoHop(t *testing.T) {
 	})
 }
 
+// TestConformanceTwoHopPacked pins the compressed label representation to
+// BFS ground truth through the same harness: the packed decode path must
+// answer every query exactly as the raw CSR path does.
+func TestConformanceTwoHopPacked(t *testing.T) {
+	forAllConformanceGraphs(t, func(t *testing.T, g *graph.Graph) {
+		Exact(t, g, dist.NewTwoHopWith(g, dist.TwoHopOptions{Workers: 5, Packed: true}))
+	})
+}
+
 // TestConformanceAPSP pins the exact all-pairs matrix oracle.
 func TestConformanceAPSP(t *testing.T) {
 	forAllConformanceGraphs(t, func(t *testing.T, g *graph.Graph) {

@@ -28,6 +28,11 @@ const (
 	// PolicyTwoHop always builds the exact 2-hop-cover oracle, even on
 	// graphs with an analytic metric and with no label budget.
 	PolicyTwoHop SourcePolicy = "twohop"
+	// PolicyTwoHopPacked is PolicyTwoHop with the labels held in the
+	// delta+varint compressed representation: identical distances from
+	// roughly a quarter of the label memory, at a small per-query decode
+	// cost.
+	PolicyTwoHopPacked SourcePolicy = "twohop-packed"
 	// PolicyField always steers by per-target BFS distance fields.
 	PolicyField SourcePolicy = "field"
 )
@@ -41,19 +46,20 @@ const TwoHopAutoMinNodes = 32768
 // TwoHopAutoMaxAvgLabel is the per-node label budget PolicyAuto hands to
 // the 2-hop build.  Graphs that exceed it (expander-like families whose
 // 2-hop covers grow ~sqrt(n)) abort the build at bounded cost and fall
-// back to BFS fields.  The budget is deliberately tight: labels above it
-// cost more to build than the handful of per-target BFS fields an
-// estimation needs, so auto only keeps oracles that are genuinely cheap
-// (tree-like and hub-dominated families); -oracle twohop forces a build
-// with no budget.
-const TwoHopAutoMaxAvgLabel = 64
+// back to BFS fields.  The budget is sized in memory, not entries: auto
+// builds labels packed (delta+varint, ~2 bytes per entry instead of 8),
+// so 256 packed entries cost what 64 raw entries did when the budget was
+// introduced — hub-dominated families like powerlaw now clear it while
+// the expander-like families still abort at bounded cost.  -oracle
+// twohop/twohop-packed forces a build with no budget.
+const TwoHopAutoMaxAvgLabel = 256
 
 // ParseSourcePolicy converts a CLI string into a policy ("" means auto).
 func ParseSourcePolicy(s string) (SourcePolicy, error) {
 	switch SourcePolicy(s) {
 	case "":
 		return PolicyAuto, nil
-	case PolicyAuto, PolicyAnalytic, PolicyTwoHop, PolicyField:
+	case PolicyAuto, PolicyAnalytic, PolicyTwoHop, PolicyTwoHopPacked, PolicyField:
 		return SourcePolicy(s), nil
 	}
 	return "", fmt.Errorf("dist: unknown oracle policy %q (known: auto, analytic, twohop, field)", s)
@@ -70,19 +76,30 @@ func ParseSourcePolicy(s string) (SourcePolicy, error) {
 // through ParseSourcePolicy, so reaching here with garbage is a
 // programming error (the same convention the gen generators follow).
 func (p SourcePolicy) Resolve(g *graph.Graph, metric Source) Source {
+	return p.ResolveWith(g, metric, 0)
+}
+
+// ResolveWith is Resolve with an explicit label-build worker count (0 means
+// GOMAXPROCS); callers that own a worker pool — scenario.Runner — thread
+// their -workers setting through so oracle builds respect the same
+// parallelism budget as everything else in the run.  The built labels are
+// byte-identical at every worker count.
+func (p SourcePolicy) ResolveWith(g *graph.Graph, metric Source, workers int) Source {
 	switch p {
 	case PolicyField:
 		return nil
 	case PolicyAnalytic:
 		return metric
 	case PolicyTwoHop:
-		return NewTwoHop(g)
+		return NewTwoHopWith(g, TwoHopOptions{Workers: workers})
+	case PolicyTwoHopPacked:
+		return NewTwoHopWith(g, TwoHopOptions{Workers: workers, Packed: true})
 	case PolicyAuto, "":
 		if metric != nil {
 			return metric
 		}
 		if g.N() >= TwoHopAutoMinNodes {
-			if t := NewTwoHopWith(g, TwoHopOptions{MaxAvgLabel: TwoHopAutoMaxAvgLabel}); t != nil {
+			if t := NewTwoHopWith(g, TwoHopOptions{Workers: workers, MaxAvgLabel: TwoHopAutoMaxAvgLabel, Packed: true}); t != nil {
 				return t
 			}
 		}

@@ -2,10 +2,7 @@ package dist
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"navaug/internal/graph"
 )
@@ -27,10 +24,13 @@ import (
 // by id) and runs a pruned BFS from each: a node u reached at distance d is
 // skipped — neither labeled nor expanded — when the labels committed so far
 // already certify dist(hub, u) <= d.  Hubs are processed in fixed-size
-// batches; the BFS traversals of one batch run in parallel against the
-// labels committed by earlier batches and their additions are merged in hub
-// order, so the resulting labels are byte-for-byte identical for every
-// worker count (they depend on the batch size, which is a fixed constant).
+// batches against the labels committed by earlier batches; one batch runs
+// as a single 64-wide bit-parallel multi-source BFS (per-node 64-bit
+// reachability masks, one bit per hub; see twohop_build.go), so the
+// traversal and the pruning scans are shared across the whole batch instead
+// of repeated per hub.  Additions are merged in hub order, so the resulting
+// labels are byte-for-byte identical for every worker count (they depend
+// only on the batch schedule, which is a fixed function of the hub index).
 // Exactness does not depend on the hub order or batching — pruning only
 // drops entries whose distance the committed labels already answer — but
 // label sizes do: degree order keeps them small on graphs with skewed
@@ -38,23 +38,34 @@ import (
 // regular, sparse GNP) 2-hop covers are inherently large and labels grow
 // polynomially; see the E12 notes in BENCH_experiments.json.
 //
+// Labels are stored either raw (two int32 CSR slabs, fastest queries) or
+// packed (per-node delta+varint byte streams, ~2-3 bytes per entry instead
+// of 8; see TwoHopOptions.Packed and Pack).  Both modes answer identical
+// distances; the conformance tests pin them to each other entry by entry.
+//
 // The oracle is immutable after construction and safe for concurrent
 // readers.  Unreachable pairs yield graph.Unreachable: a hub's BFS never
 // leaves its component, so cross-component labels share no hubs.
 type TwoHop struct {
-	n     int32
-	order []graph.NodeID // hub rank -> node, decreasing degree
-	// CSR-packed labels: node v's label is the parallel slices
+	n       int32
+	packed  bool
+	entries int64
+	order   []graph.NodeID // hub rank -> node, decreasing degree
+	// Raw mode: node v's label is the parallel slices
 	// hubs[index[v]:index[v+1]] (hub ranks, strictly increasing) and
 	// dists[index[v]:index[v+1]].
 	index []int64
 	hubs  []int32
 	dists []int32
+	// Packed mode: node v's label is the varint stream
+	// blob[poff[v]:poff[v+1]] of (hub-rank delta, dist) pairs.
+	poff []int64
+	blob []byte
 }
 
 // TwoHopOptions tunes NewTwoHopWith.
 type TwoHopOptions struct {
-	// Workers is the per-batch BFS worker count; <= 0 means GOMAXPROCS.
+	// Workers is the per-batch build worker count; <= 0 means GOMAXPROCS.
 	// The labels are identical for every worker count.
 	Workers int
 	// MaxAvgLabel, when positive, aborts the build as soon as the total
@@ -65,26 +76,40 @@ type TwoHopOptions struct {
 	// commits only, so whether a build aborts — like the labels themselves
 	// — is a pure function of the graph, never of the worker count.
 	MaxAvgLabel float64
+	// Packed stores the finished labels delta+varint compressed (~2-3
+	// bytes per entry instead of 8) at a modest per-query decode cost.
+	// The label sets — and therefore every distance — are identical to an
+	// unpacked build.
+	Packed bool
+	// forceScalar and force16 disable build engines (tests only): they pin
+	// the byte-identity contract by diffing the engines against each other.
+	forceScalar bool
+	force16     bool
 }
 
-// twoHopMaxBatch caps the number of hubs whose pruned BFS traversals run
-// concurrently between label commits.  Batches grow geometrically from 1:
-// the first hubs — whose traversals are the expensive, graph-spanning ones
-// — run (nearly) sequentially so each sees the previous hubs' labels and
-// prunes as aggressively as sequential PLL, while the long tail of cheap,
-// quickly-pruned hubs runs wide.  The schedule is a fixed function of the
-// hub index — not of the worker count — because batch boundaries (unlike
+// twoHopMaxBatch caps the number of hubs per bit-parallel batch (the mask
+// width).  Batches grow geometrically from 1: the first hubs — whose
+// traversals are the expensive, graph-spanning ones — run (nearly)
+// sequentially so each sees the previous hubs' labels and prunes as
+// aggressively as sequential PLL, while the long tail of cheap, quickly
+// pruned hubs runs 64 wide.  The schedule is a fixed function of the hub
+// index — not of the worker count — because batch boundaries (unlike
 // scheduling) influence which prunes fire and therefore the exact label
 // sets; workers only split a batch's fixed work.
 const twoHopMaxBatch = 64
 
 // twoHopUnset marks an absent entry in the dense per-root hub-distance
-// scratch used during construction.
+// scratch used by the scalar construction fallback.
 const twoHopUnset int32 = -1
 
 // twoHopInf is the query accumulator's starting value; any realisable
 // two-hop distance (< 2n) is below it.
 const twoHopInf int32 = 1<<31 - 1
+
+// twoHopMaxNodes bounds the node count FromRaw accepts: with distances
+// validated < n, a two-hop sum stays < 2n and cannot overflow int32.
+// (Snapshots are capped far lower; this is the API-level backstop.)
+const twoHopMaxNodes = 1 << 30
 
 // NewTwoHop builds the exact 2-hop-cover oracle of g using all CPUs.
 func NewTwoHop(g *graph.Graph) *TwoHop {
@@ -100,31 +125,15 @@ func twoHopMix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// twoHopScratch is the per-worker reusable state of one pruned BFS.
-type twoHopScratch struct {
-	dist     []int32 // per-node BFS distance, twoHopUnset when untouched
-	rootDist []int32 // per-hub-rank committed distance to the current root
-	queue    []graph.NodeID
-}
-
-// twoHopAdditions is the outcome of one hub's pruned BFS: the nodes that
-// received a label entry, in BFS order, with their exact distances.
-type twoHopAdditions struct {
-	nodes []graph.NodeID
-	dists []int32
-}
-
-// NewTwoHopWith builds the oracle with the given options.  It returns nil
-// when a MaxAvgLabel budget is set and exceeded (see TwoHopOptions).
-func NewTwoHopWith(g *graph.Graph, opts TwoHopOptions) *TwoHop {
-	n := g.N()
-	t := &TwoHop{n: int32(n)}
-	t.order = make([]graph.NodeID, n)
-	for i := range t.order {
-		t.order[i] = graph.NodeID(i)
+// twoHopOrder computes the hub order: decreasing degree, ties by a
+// deterministic hash of the node id.
+func twoHopOrder(g *graph.Graph) []graph.NodeID {
+	order := make([]graph.NodeID, g.N())
+	for i := range order {
+		order[i] = graph.NodeID(i)
 	}
-	sort.SliceStable(t.order, func(i, j int) bool {
-		di, dj := g.Degree(t.order[i]), g.Degree(t.order[j])
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
 		if di != dj {
 			return di > dj
 		}
@@ -133,157 +142,58 @@ func NewTwoHopWith(g *graph.Graph, opts TwoHopOptions) *TwoHop {
 		// order degenerates — consecutive hubs cover almost the same pairs
 		// and labels grow towards O(n) — while a pseudo-random order gives
 		// the divide-and-conquer covers that keep them logarithmic.
-		hi, hj := twoHopMix(uint64(t.order[i])), twoHopMix(uint64(t.order[j]))
+		hi, hj := twoHopMix(uint64(order[i])), twoHopMix(uint64(order[j]))
 		if hi != hj {
 			return hi < hj
 		}
-		return t.order[i] < t.order[j]
+		return order[i] < order[j]
 	})
-	t.index = make([]int64, n+1)
+	return order
+}
+
+// NewTwoHopWith builds the oracle with the given options.  It returns nil
+// when a MaxAvgLabel budget is set and exceeded (see TwoHopOptions).
+func NewTwoHopWith(g *graph.Graph, opts TwoHopOptions) *TwoHop {
+	n := g.N()
+	t := &TwoHop{n: int32(n), packed: opts.Packed}
+	t.order = twoHopOrder(g)
 	if n == 0 {
+		t.index = make([]int64, 1)
+		if opts.Packed {
+			t.index, t.poff = nil, make([]int64, 1)
+		}
 		return t
 	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	lab, total, ok := twoHopBuildLabels(g, t.order, opts)
+	if !ok {
+		return nil
 	}
-	if workers > twoHopMaxBatch {
-		workers = twoHopMaxBatch
+	t.entries = total
+	if opts.Packed {
+		t.poff, t.blob = twoHopEncodeLabels(lab, total)
+		return t
 	}
-
-	// Growable per-node labels during construction; packed into the CSR
-	// arrays once every hub has been processed.
-	labHubs := make([][]int32, n)
-	labDists := make([][]int32, n)
-
-	scratches := make([]*twoHopScratch, workers)
-	for w := range scratches {
-		sc := &twoHopScratch{
-			dist:     make([]int32, n),
-			rootDist: make([]int32, n),
-			queue:    make([]graph.NodeID, 0, n),
-		}
-		for i := 0; i < n; i++ {
-			sc.dist[i] = twoHopUnset
-			sc.rootDist[i] = twoHopUnset
-		}
-		scratches[w] = sc
-	}
-
-	results := make([]twoHopAdditions, twoHopMaxBatch)
-	var total int64
-	budget := int64(-1)
-	if opts.MaxAvgLabel > 0 {
-		budget = int64(opts.MaxAvgLabel * float64(n))
-	}
-	batch := 1
-	for start := 0; start < n; {
-		end := start + batch
-		if end > n {
-			end = n
-		}
-		// Pruned BFS of every hub in the batch, in parallel, reading only
-		// the labels committed by earlier batches.
-		var next atomic.Int64
-		next.Store(int64(start))
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(sc *twoHopScratch) {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1) - 1)
-					if k >= end {
-						return
-					}
-					results[k-start] = twoHopPrunedBFS(g, t.order[k], labHubs, labDists, sc)
-				}
-			}(scratches[w])
-		}
-		wg.Wait()
-		// Commit in hub order: hub ranks increase monotonically across
-		// commits, so each node's hub list stays strictly increasing.
-		for k := start; k < end; k++ {
-			res := results[k-start]
-			for i, u := range res.nodes {
-				labHubs[u] = append(labHubs[u], int32(k))
-				labDists[u] = append(labDists[u], res.dists[i])
-			}
-			total += int64(len(res.nodes))
-		}
-		if budget >= 0 && total > budget {
-			return nil
-		}
-		start = end
-		if batch < twoHopMaxBatch {
-			batch *= 2
-		}
-	}
-
+	t.index = make([]int64, n+1)
 	t.hubs = make([]int32, total)
 	t.dists = make([]int32, total)
 	for v := 0; v < n; v++ {
 		off := t.index[v]
-		t.index[v+1] = off + int64(len(labHubs[v]))
-		copy(t.hubs[off:], labHubs[v])
-		copy(t.dists[off:], labDists[v])
-		labHubs[v], labDists[v] = nil, nil
+		for _, e := range lab[v] {
+			t.hubs[off] = int32(e >> 32)
+			t.dists[off] = int32(uint32(e))
+			off++
+		}
+		t.index[v+1] = off
+		lab[v] = nil
 	}
 	return t
 }
 
-// twoHopPrunedBFS runs the pruned BFS from root against the committed
-// labels: a node u reached at distance d is labeled (and expanded) only if
-// no committed two-hop path already certifies dist(root, u) <= d.
-func twoHopPrunedBFS(g *graph.Graph, root graph.NodeID, labHubs, labDists [][]int32, sc *twoHopScratch) twoHopAdditions {
-	rootHubs, rootDists := labHubs[root], labDists[root]
-	for i, h := range rootHubs {
-		sc.rootDist[h] = rootDists[i]
-	}
-	queue := sc.queue[:0]
-	queue = append(queue, root)
-	sc.dist[root] = 0
-	var out twoHopAdditions
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := sc.dist[u]
-		// Prune when the committed labels already answer dist(root, u):
-		// every two-hop estimate is an upper bound, so estimate <= du
-		// means it equals the true distance and this entry is redundant.
-		covered := false
-		lh, ld := labHubs[u], labDists[u]
-		for i, h := range lh {
-			if rd := sc.rootDist[h]; rd >= 0 && rd+ld[i] <= du {
-				covered = true
-				break
-			}
-		}
-		if covered {
-			continue
-		}
-		out.nodes = append(out.nodes, u)
-		out.dists = append(out.dists, du)
-		for _, v := range g.Neighbors(u) {
-			if sc.dist[v] == twoHopUnset {
-				sc.dist[v] = du + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	// Reset the touched scratch entries so the next BFS starts clean.
-	for _, u := range queue {
-		sc.dist[u] = twoHopUnset
-	}
-	for _, h := range rootHubs {
-		sc.rootDist[h] = twoHopUnset
-	}
-	sc.queue = queue
-	return out
-}
-
 // N returns the number of nodes the oracle covers.
 func (t *TwoHop) N() int { return int(t.n) }
+
+// Packed reports whether the labels are stored varint-compressed.
+func (t *TwoHop) Packed() bool { return t.packed }
 
 // Dist implements Source (and Oracle) with one merged scan over the two
 // sorted hub lists.  Pairs with no common hub are in different components
@@ -291,6 +201,9 @@ func (t *TwoHop) N() int { return int(t.n) }
 func (t *TwoHop) Dist(u, v graph.NodeID) int32 {
 	if u == v {
 		return 0
+	}
+	if t.packed {
+		return t.distPacked(u, v)
 	}
 	i, iEnd := t.index[u], t.index[u+1]
 	j, jEnd := t.index[v], t.index[v+1]
@@ -316,26 +229,219 @@ func (t *TwoHop) Dist(u, v graph.NodeID) int32 {
 	return best
 }
 
-// Label returns node v's label as shared, read-only parallel slices: the
-// hubs (as node ids, in increasing hub-rank order) and the exact distances
-// to them.  Tests use it to compare builds entry by entry.
-func (t *TwoHop) Label(v graph.NodeID) (hubs []graph.NodeID, dists []int32) {
-	lo, hi := t.index[v], t.index[v+1]
-	hubs = make([]graph.NodeID, hi-lo)
-	for i := lo; i < hi; i++ {
-		hubs[i-lo] = t.order[t.hubs[i]]
+// distPacked is the merged scan over two packed label streams, decoding
+// (hub delta, dist) varints on the fly.
+func (t *TwoHop) distPacked(u, v graph.NodeID) int32 {
+	i, iEnd := t.poff[u], t.poff[u+1]
+	j, jEnd := t.poff[v], t.poff[v+1]
+	if i == iEnd || j == jEnd {
+		return graph.Unreachable
 	}
-	return hubs, t.dists[lo:hi]
+	blob := t.blob
+	best := twoHopInf
+	hu, du, i := twoHopDecodePair(blob, i, -1)
+	hv, dv, j := twoHopDecodePair(blob, j, -1)
+	for {
+		switch {
+		case hu == hv:
+			if d := du + dv; d < best {
+				best = d
+			}
+			if i >= iEnd || j >= jEnd {
+				goto done
+			}
+			hu, du, i = twoHopDecodePair(blob, i, hu)
+			hv, dv, j = twoHopDecodePair(blob, j, hv)
+		case hu < hv:
+			if i >= iEnd {
+				goto done
+			}
+			hu, du, i = twoHopDecodePair(blob, i, hu)
+		default:
+			if j >= jEnd {
+				goto done
+			}
+			hv, dv, j = twoHopDecodePair(blob, j, hv)
+		}
+	}
+done:
+	if best == twoHopInf {
+		return graph.Unreachable
+	}
+	return best
 }
 
-// Raw exposes the oracle's packed arrays as shared, read-only slices: the
-// hub order (rank -> node), the CSR index (length N+1), and the parallel
-// hub-rank/distance arrays.  Callers must not modify them.  This is the
-// serialisation entry point: the snapshot writer emits the arrays verbatim
-// and TwoHopFromRaw reconstructs an identical oracle without re-running the
-// pruned-labeling build.
+// twoHopDecodePair decodes one (hub delta, dist) pair at blob[i:],
+// returning the absolute hub rank (prev is the previous entry's rank, -1
+// before the first).  The hot path is the one-byte varint; FromRaw
+// validation guarantees every stream is well formed and in bounds.
+func twoHopDecodePair(blob []byte, i int64, prev int32) (h, d int32, next int64) {
+	b := blob[i]
+	i++
+	delta := int32(b & 0x7f)
+	if b >= 0x80 {
+		for shift := 7; ; shift += 7 {
+			b = blob[i]
+			i++
+			delta |= int32(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+		}
+	}
+	b = blob[i]
+	i++
+	d = int32(b & 0x7f)
+	if b >= 0x80 {
+		for shift := 7; ; shift += 7 {
+			b = blob[i]
+			i++
+			d |= int32(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+		}
+	}
+	return prev + 1 + delta, d, i
+}
+
+// twoHopAppendUvarint appends v as a LEB128 varint.
+func twoHopAppendUvarint(buf []byte, v uint32) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// twoHopEncodeLabels packs per-node interleaved (rank, dist) pair slices
+// into the delta+varint blob representation.
+func twoHopEncodeLabels(lab [][]uint64, total int64) (poff []int64, blob []byte) {
+	poff = make([]int64, len(lab)+1)
+	// Typical entries fit one byte of delta and one of distance.
+	blob = make([]byte, 0, 2*total+total/2)
+	for v := range lab {
+		prev := int32(-1)
+		for _, e := range lab[v] {
+			rank := int32(e >> 32)
+			blob = twoHopAppendUvarint(blob, uint32(rank-prev-1))
+			blob = twoHopAppendUvarint(blob, uint32(uint32(e)))
+			prev = rank
+		}
+		poff[v+1] = int64(len(blob))
+		lab[v] = nil
+	}
+	return poff, blob
+}
+
+// Label returns node v's label as parallel slices: the hubs (as node ids,
+// in increasing hub-rank order) and the exact distances to them.  Tests use
+// it to compare builds — raw against packed — entry by entry.
+func (t *TwoHop) Label(v graph.NodeID) (hubs []graph.NodeID, dists []int32) {
+	if !t.packed {
+		lo, hi := t.index[v], t.index[v+1]
+		hubs = make([]graph.NodeID, hi-lo)
+		for i := lo; i < hi; i++ {
+			hubs[i-lo] = t.order[t.hubs[i]]
+		}
+		return hubs, t.dists[lo:hi]
+	}
+	i, end := t.poff[v], t.poff[v+1]
+	prev := int32(-1)
+	for i < end {
+		var d int32
+		prev, d, i = twoHopDecodePair(t.blob, i, prev)
+		hubs = append(hubs, t.order[prev])
+		dists = append(dists, d)
+	}
+	return hubs, dists
+}
+
+// Pack returns a varint-compressed view of the oracle (itself when already
+// packed).  The label sets are identical; only the storage changes.
+func (t *TwoHop) Pack() *TwoHop {
+	if t.packed {
+		return t
+	}
+	p := &TwoHop{n: t.n, packed: true, entries: t.entries, order: t.order}
+	p.poff = make([]int64, t.n+1)
+	p.blob = make([]byte, 0, 2*t.entries+t.entries/2)
+	for v := int32(0); v < t.n; v++ {
+		prev := int32(-1)
+		for i := t.index[v]; i < t.index[v+1]; i++ {
+			p.blob = twoHopAppendUvarint(p.blob, uint32(t.hubs[i]-prev-1))
+			p.blob = twoHopAppendUvarint(p.blob, uint32(t.dists[i]))
+			prev = t.hubs[i]
+		}
+		p.poff[v+1] = int64(len(p.blob))
+	}
+	return p
+}
+
+// Unpack returns a raw (uncompressed) view of the oracle (itself when
+// already raw).
+func (t *TwoHop) Unpack() *TwoHop {
+	if !t.packed {
+		return t
+	}
+	r := &TwoHop{n: t.n, entries: t.entries, order: t.order}
+	r.index = make([]int64, t.n+1)
+	r.hubs = make([]int32, 0, t.entries)
+	r.dists = make([]int32, 0, t.entries)
+	for v := int32(0); v < t.n; v++ {
+		i, end := t.poff[v], t.poff[v+1]
+		prev := int32(-1)
+		for i < end {
+			var d int32
+			prev, d, i = twoHopDecodePair(t.blob, i, prev)
+			r.hubs = append(r.hubs, prev)
+			r.dists = append(r.dists, d)
+		}
+		r.index[v+1] = int64(len(r.hubs))
+	}
+	return r
+}
+
+// Raw exposes a raw-mode oracle's packed arrays as shared, read-only
+// slices: the hub order (rank -> node), the CSR index (length N+1), and the
+// parallel hub-rank/distance arrays.  Callers must not modify them.  This
+// is the serialisation entry point: the snapshot writer emits the arrays
+// verbatim and TwoHopFromRaw reconstructs an identical oracle without
+// re-running the pruned-labeling build.  It panics on a packed oracle —
+// use RawPacked there (or Unpack first).
 func (t *TwoHop) Raw() (order []graph.NodeID, index []int64, hubs, dists []int32) {
+	if t.packed {
+		panic("dist: Raw called on a packed TwoHop (use RawPacked or Unpack)")
+	}
 	return t.order, t.index, t.hubs, t.dists
+}
+
+// RawPacked exposes a packed oracle's arrays as shared, read-only slices:
+// the hub order, the per-node byte offsets (length N+1) and the varint
+// blob.  It panics on a raw oracle — use Raw there (or Pack first).
+func (t *TwoHop) RawPacked() (order []graph.NodeID, poff []int64, blob []byte) {
+	if !t.packed {
+		panic("dist: RawPacked called on a raw TwoHop (use Raw or Pack)")
+	}
+	return t.order, t.poff, t.blob
+}
+
+// twoHopValidateOrder checks that order is a permutation of [0, n).
+func twoHopValidateOrder(n int, order []graph.NodeID) error {
+	if len(order) != n {
+		return fmt.Errorf("dist: hub order has %d entries, want n = %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("dist: hub order entry %d = %d out of range [0,%d)", i, v, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("dist: hub order repeats node %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
 }
 
 // TwoHopFromRaw reconstructs an oracle from arrays previously obtained via
@@ -343,32 +449,28 @@ func (t *TwoHop) Raw() (order []graph.NodeID, index []int64, hubs, dists []int32
 // buffer).  It verifies every structural invariant the build establishes —
 // order is a permutation of the nodes, the index is monotone from 0 and
 // consistent with the label arrays, each node's hub ranks are strictly
-// increasing and in range, and distances are non-negative — so corrupted
-// or hostile serialised labels are rejected in O(n + entries).  Distance
-// *correctness* (that the labels form an exact 2-hop cover of this graph)
-// is not re-derivable cheaply; snapshot checksums guard integrity in
-// transit and the conformance suite pins freshly-written snapshots to BFS.
+// increasing and in range, and distances lie in [0, n) (an unweighted
+// n-node graph has diameter at most n-1, and the bound keeps two-hop sums
+// below 2n, so a hostile label can never overflow a Dist query into a
+// negative "exact" distance) — so corrupted or hostile serialised labels
+// are rejected in O(n + entries).  Distance *correctness* (that the labels
+// form an exact 2-hop cover of this graph) is not re-derivable cheaply;
+// snapshot checksums guard integrity in transit and the conformance suite
+// pins freshly-written snapshots to BFS.
 func TwoHopFromRaw(n int, order []graph.NodeID, index []int64, hubs, dists []int32) (*TwoHop, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dist: negative node count %d", n)
 	}
-	if len(order) != n {
-		return nil, fmt.Errorf("dist: hub order has %d entries, want n = %d", len(order), n)
+	if n > twoHopMaxNodes {
+		return nil, fmt.Errorf("dist: node count %d exceeds the supported cap %d", n, twoHopMaxNodes)
+	}
+	if err := twoHopValidateOrder(n, order); err != nil {
+		return nil, err
 	}
 	if len(index) != n+1 {
 		return nil, fmt.Errorf("dist: label index has length %d, want n+1 = %d", len(index), n+1)
 	}
-	seen := make([]bool, n)
-	for i, v := range order {
-		if v < 0 || int(v) >= n {
-			return nil, fmt.Errorf("dist: hub order entry %d = %d out of range [0,%d)", i, v, n)
-		}
-		if seen[v] {
-			return nil, fmt.Errorf("dist: hub order repeats node %d", v)
-		}
-		seen[v] = true
-	}
-	if index[0] != 0 {
+	if n >= 0 && len(index) > 0 && index[0] != 0 {
 		return nil, fmt.Errorf("dist: label index starts at %d, want 0", index[0])
 	}
 	if index[n] != int64(len(hubs)) || len(hubs) != len(dists) {
@@ -390,28 +492,125 @@ func TwoHopFromRaw(n int, order []graph.NodeID, index []int64, hubs, dists []int
 				return nil, fmt.Errorf("dist: node %d hub ranks not strictly increasing (%d after %d)", v, h, prev)
 			}
 			prev = h
-			if dists[i] < 0 {
-				return nil, fmt.Errorf("dist: node %d has negative label distance %d", v, dists[i])
+			if dists[i] < 0 || int64(dists[i]) >= int64(n) {
+				return nil, fmt.Errorf("dist: node %d has label distance %d out of range [0,%d)", v, dists[i], n)
 			}
 		}
 	}
-	return &TwoHop{n: int32(n), order: order, index: index, hubs: hubs, dists: dists}, nil
+	return &TwoHop{n: int32(n), entries: int64(len(hubs)), order: order, index: index, hubs: hubs, dists: dists}, nil
+}
+
+// TwoHopPackedFromRaw reconstructs a packed oracle from arrays previously
+// obtained via RawPacked, taking ownership of the slices.  It fully decodes
+// every label stream once, enforcing the same invariants as TwoHopFromRaw —
+// permutation order, monotone offsets, strictly increasing in-range hub
+// ranks, distances in [0, n) — plus varint well-formedness: every stream
+// must decode to exactly its declared byte length with no truncated or
+// over-long varint, so a hostile blob can never send a query decode out of
+// bounds.
+func TwoHopPackedFromRaw(n int, order []graph.NodeID, poff []int64, blob []byte) (*TwoHop, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dist: negative node count %d", n)
+	}
+	if n > twoHopMaxNodes {
+		return nil, fmt.Errorf("dist: node count %d exceeds the supported cap %d", n, twoHopMaxNodes)
+	}
+	if err := twoHopValidateOrder(n, order); err != nil {
+		return nil, err
+	}
+	if len(poff) != n+1 {
+		return nil, fmt.Errorf("dist: packed label index has length %d, want n+1 = %d", len(poff), n+1)
+	}
+	if poff[0] != 0 {
+		return nil, fmt.Errorf("dist: packed label index starts at %d, want 0", poff[0])
+	}
+	if poff[n] != int64(len(blob)) {
+		return nil, fmt.Errorf("dist: packed label index promises %d blob bytes, blob holds %d", poff[n], len(blob))
+	}
+	var entries int64
+	for v := 0; v < n; v++ {
+		lo, hi := poff[v], poff[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("dist: packed label index decreases at node %d (%d > %d)", v, lo, hi)
+		}
+		prev := int32(-1)
+		for i := lo; i < hi; {
+			delta, ni, err := twoHopCheckedUvarint(blob, i, hi)
+			if err != nil {
+				return nil, fmt.Errorf("dist: node %d label stream: %w", v, err)
+			}
+			d, ni, err := twoHopCheckedUvarint(blob, ni, hi)
+			if err != nil {
+				return nil, fmt.Errorf("dist: node %d label stream: %w", v, err)
+			}
+			h := int64(prev) + 1 + int64(delta)
+			if h >= int64(n) {
+				return nil, fmt.Errorf("dist: node %d references hub rank %d out of range [0,%d)", v, h, n)
+			}
+			if int64(d) >= int64(n) {
+				return nil, fmt.Errorf("dist: node %d has label distance %d out of range [0,%d)", v, d, n)
+			}
+			prev = int32(h)
+			i = ni
+			entries++
+		}
+	}
+	return &TwoHop{n: int32(n), packed: true, entries: entries, order: order, poff: poff, blob: blob}, nil
+}
+
+// twoHopCheckedUvarint decodes one bounds- and range-checked varint from
+// blob[i:end): it must terminate before end and fit 31 bits.
+func twoHopCheckedUvarint(blob []byte, i, end int64) (v uint32, next int64, err error) {
+	var x uint64
+	for shift := 0; ; shift += 7 {
+		if i >= end {
+			return 0, 0, fmt.Errorf("truncated varint")
+		}
+		b := blob[i]
+		i++
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		if shift >= 28 {
+			return 0, 0, fmt.Errorf("varint exceeds 31 bits")
+		}
+	}
+	if x > 1<<31-1 {
+		return 0, 0, fmt.Errorf("varint value %d exceeds 31 bits", x)
+	}
+	return uint32(x), i, nil
 }
 
 // Entries returns the total number of label entries across all nodes.
-func (t *TwoHop) Entries() int64 { return int64(len(t.hubs)) }
+func (t *TwoHop) Entries() int64 { return t.entries }
 
 // AvgLabel returns the mean label size per node.
 func (t *TwoHop) AvgLabel() float64 {
 	if t.n == 0 {
 		return 0
 	}
-	return float64(len(t.hubs)) / float64(t.n)
+	return float64(t.entries) / float64(t.n)
 }
 
 // MaxLabel returns the largest single-node label size.
 func (t *TwoHop) MaxLabel() int {
 	best := int64(0)
+	if t.packed {
+		for v := int32(0); v < t.n; v++ {
+			i, end := t.poff[v], t.poff[v+1]
+			var sz int64
+			prev := int32(-1)
+			for i < end {
+				prev, _, i = twoHopDecodePair(t.blob, i, prev)
+				sz++
+			}
+			if sz > best {
+				best = sz
+			}
+		}
+		return int(best)
+	}
 	for v := int32(0); v < t.n; v++ {
 		if sz := t.index[v+1] - t.index[v]; sz > best {
 			best = sz
@@ -422,5 +621,8 @@ func (t *TwoHop) MaxLabel() int {
 
 // MemoryBytes returns the approximate resident size of the packed oracle.
 func (t *TwoHop) MemoryBytes() int64 {
+	if t.packed {
+		return int64(len(t.blob)) + int64(len(t.poff))*8 + int64(len(t.order))*4
+	}
 	return int64(len(t.hubs))*8 + int64(len(t.index))*8 + int64(len(t.order))*4
 }

@@ -1,0 +1,849 @@
+package dist
+
+import (
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"navaug/internal/graph"
+)
+
+// This file holds the TwoHop construction engine.  The batch schedule —
+// hubs processed in geometrically growing batches of at most
+// twoHopMaxBatch, each batch pruning only against the labels committed by
+// earlier batches — is fixed (see twoHopMaxBatch); what this engine changes
+// is how one batch runs.  Instead of one pruned BFS per hub, a whole batch
+// runs as a single bit-parallel multi-source BFS:
+//
+//   - Every node carries a 64-bit mask, one bit per batch root.  A level-
+//     synchronous sweep ORs masks along edges, so the traversal work for up
+//     to 64 roots collapses into one pass with one word-OR per edge.
+//   - Pruning clears bits: when root k's arrival at node v is already
+//     covered by the committed labels, bit k is dropped from v's
+//     propagation mask — exactly the per-root prune, applied per bit.
+//   - The coverage test runs once per (node, level) over the node's
+//     committed label and answers all arrived roots at once: a rank-indexed
+//     root-distance matrix holds dist(root_k, hub) in 16-bit lanes, and a
+//     SWAR compare turns each label entry into a 4-roots-per-word coverage
+//     nibble.  The label scan — the dominant cost on expander-like graphs,
+//     where labels reach ~10^3 entries — is thus shared across the whole
+//     batch instead of repeated per root.
+//
+// During construction each node's committed label is kept sorted by
+// distance (a sorted run plus a small unsorted tail of recent additions,
+// merged geometrically), not by hub rank: an entry (h, dhv) can only help
+// cover an arrival at BFS distance d when dhv < d, so the distance-sorted
+// scan stops at the first entry with dhv >= d — typically cutting the scan
+// in half — and meets the near hubs most likely to certify coverage first.
+// Hub-rank order is only needed by the final CSR pack, which sorts once.
+//
+// The result is byte-identical to running the per-root pruned BFS for each
+// hub of the batch (twoHopScalarBFS below, also the fallback engine):
+// level-synchronous per-bit propagation reaches node v at exactly the
+// per-root pruned-BFS distance, the coverage test reads the same committed
+// labels and the same root distances (coverage is an OR over label entries,
+// so scan order cannot change it), and commits only need the per-node entry
+// set — which batch-then-rank order fixes regardless of the engine, the
+// worker count, or the order workers drain a level.
+//
+// Distances inside the bit-parallel engine live in 16-bit lanes, capped by
+// twoHopMaxDepth; the rare graphs that exceed it mid-batch (diameter above
+// ~16k, e.g. huge near-path graphs) bail out of the batch and fall back to
+// the scalar engine permanently.  Both engines produce identical labels, so
+// the switch point does not affect the output.
+
+const (
+	// twoHopInf16 is the "no entry" sentinel of the root-distance matrix
+	// lanes.  It must never satisfy a coverage compare: compares test
+	// lane <= T with T <= twoHopMaxDepth < twoHopInf16.
+	twoHopInf16 = 0x3FFF
+	// twoHopMaxDepth caps BFS depth and committed label distances for the
+	// bit-parallel engine; beyond it 16-bit lanes could not represent
+	// root-hub distances (and the SWAR compare, which needs every lane
+	// strictly below 2^15, could see carries).
+	twoHopMaxDepth = twoHopInf16 - 1
+	// twoHopOnes16 has 1 in each of the four 16-bit lanes.
+	twoHopOnes16 uint64 = 0x0001000100010001
+	// twoHopHighs16 has the top bit of each 16-bit lane.
+	twoHopHighs16 uint64 = 0x8000800080008000
+	// twoHopSentinelRow is a root-distance word with every lane unset.
+	twoHopSentinelRow uint64 = twoHopInf16 * twoHopOnes16
+	// The 8-bit-lane counterparts: while every committed distance fits 7
+	// bits — true for the expander-like families throughout their build —
+	// the matrix packs 8 roots per word instead of 4, halving the words the
+	// coverage scan touches.
+	twoHopInf8                = 0x7F
+	twoHopMaxDepth8           = twoHopInf8 - 1
+	twoHopOnes8        uint64 = 0x0101010101010101
+	twoHopHighs8       uint64 = 0x8080808080808080
+	twoHopSentinelRow8 uint64 = twoHopInf8 * twoHopOnes8
+	// twoHopMoveMask16/8 are movemask-by-multiply constants: with flag
+	// bits only at the top bit of each lane, hit * K places lane j's flag
+	// at result bit 60+j (16-bit lanes) / 56+j (8-bit lanes).  Every
+	// partial product lands on a distinct bit (16(j-j') = 15(i'-i) and
+	// 8(j-j') = 7(i'-i) have no non-zero solutions in lane range), so no
+	// carries — the top nibble/byte is exactly the per-lane hit mask.
+	twoHopMoveMask16 uint64 = 0x0000200040008001
+	twoHopMoveMask8  uint64 = 0x0002040810204081
+	// twoHopBPParallelMin is the level size below which processing a
+	// bit-parallel level stays on one goroutine (fan-out costs more than
+	// the work).
+	twoHopBPParallelMin = 2048
+	// twoHopBPChunk is the claim unit workers grab from a level's node
+	// list.
+	twoHopBPChunk = 256
+	// twoHopTailMin / twoHopTailShare control when a node's unsorted tail
+	// of fresh additions is folded into its sorted run: at twoHopTailMin
+	// entries and at least 1/twoHopTailShare of the label.
+	twoHopTailMin   = 48
+	twoHopTailShare = 8
+)
+
+// twoHopAdditions is one root's label additions: the nodes the pruned BFS
+// labeled, in visit order, with their BFS distances.
+type twoHopAdditions struct {
+	nodes []graph.NodeID
+	dists []int32
+}
+
+// twoHopScratch is one scalar-engine worker's reusable state.
+type twoHopScratch struct {
+	dist     []int32 // per-node BFS distance, twoHopUnset when unvisited
+	rootDist []int32 // per-hub-rank distance from the current root
+	queue    []graph.NodeID
+}
+
+// twoHopBPWorker is one bit-parallel worker's private output buffers; kept
+// per worker so a level can be drained without locks, then merged
+// deterministically.
+type twoHopBPWorker struct {
+	// addNodes[k]/addDists[k] collect root k's label additions.  Within
+	// one buffer distances are non-decreasing (levels are processed in
+	// order), which commitBP exploits for max tracking.
+	addNodes [twoHopMaxBatch][]graph.NodeID
+	addDists [twoHopMaxBatch][]int32
+	// curList collects the nodes that survived pruning this level (the
+	// next level's frontier contribution).
+	curList []graph.NodeID
+	// arrived collects nodes first reached this batch, for O(visited)
+	// scratch reset.
+	arrived []graph.NodeID
+}
+
+// twoHopBPScratch is the bit-parallel engine's reusable state.
+type twoHopBPScratch struct {
+	// rd is the root-distance matrix: row h (a committed hub rank) holds
+	// dist(root_k, hub_h) for the current batch's roots k in 16-bit lanes,
+	// 4 lanes per word, words words per row; twoHopInf16 lanes mean "hub h
+	// not in root k's label".  Rows revert to all-sentinel between batches
+	// via touched.
+	rd       []uint64
+	words    int
+	sentinel uint64 // all-unset row value for the current lane width
+	touched  []int32
+	// rdWordMask[h] flags which words of row h hold any real lane (bit w
+	// set when some lane of word w is not the sentinel).  The coverage
+	// scan intersects it with the words that still have uncovered
+	// arrivals; for sparse batches most label entries hit an empty
+	// intersection and skip the row entirely after one small-table load.
+	rdWordMask []uint16
+	// Per-node masks: seen accumulates the roots that have reached the
+	// node this batch, propMask is the subset still propagating (arrived
+	// uncovered), nextMask stages the next level's arrivals.
+	seen     []uint64
+	propMask []uint64
+	nextMask []uint64
+	curList  []graph.NodeID // current frontier (nodes with propMask bits)
+	nextList []graph.NodeID // deduped nodes receiving nextMask bits
+	arrived  []graph.NodeID // nodes with seen bits, for batch reset
+	workers  []*twoHopBPWorker
+}
+
+// twoHopBuilder drives a full build: the batch loop, the engine choice per
+// batch, and the shared committed-label state.
+type twoHopBuilder struct {
+	g       *graph.Graph
+	n       int
+	order   []graph.NodeID
+	workers int
+
+	// lab[v] is node v's committed label, one uint64 per entry packing
+	// dist<<32 | hub-rank so the hot scan loads an entry in one read and
+	// uint64 order is (dist, rank) order.  lab[v][:sortedLen[v]] is sorted
+	// ascending, the rest is the unsorted tail of recent batch additions,
+	// folded in by mergeTail once it outgrows its share.  Coverage scans
+	// the sorted run with an early distance cutoff, then the (small) tail.
+	lab       [][]uint64
+	sortedLen []int32
+	mergeBuf  []uint64 // scratch for the tail sort + merge (commit is serial)
+
+	total   int64
+	maxDist int32 // max committed label distance, gates the BP engine
+
+	lanes8  bool // current batch runs 8-bit root-distance lanes
+	bp8Dead bool // a batch exceeded twoHopMaxDepth8; stay on 16-bit lanes
+	bpDead  bool // a batch exceeded twoHopMaxDepth; stay scalar
+	bp      *twoHopBPScratch
+	scalar  []*twoHopScratch
+	results []twoHopAdditions
+}
+
+// twoHopBuildLabels runs the full pruned-labeling build and returns the
+// per-node labels as packed rank<<32|dist entries with ranks strictly
+// increasing, plus the total entry count.  ok is false when
+// opts.MaxAvgLabel is set and exceeded.  The labels are a pure function of
+// (graph, order): identical for every worker count and engine path.
+func twoHopBuildLabels(g *graph.Graph, order []graph.NodeID, opts TwoHopOptions) (lab [][]uint64, total int64, ok bool) {
+	n := g.N()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > twoHopMaxBatch {
+		workers = twoHopMaxBatch
+	}
+	b := &twoHopBuilder{
+		g:         g,
+		n:         n,
+		order:     order,
+		workers:   workers,
+		lab:       make([][]uint64, n),
+		sortedLen: make([]int32, n),
+	}
+	budget := int64(-1)
+	if opts.MaxAvgLabel > 0 {
+		budget = int64(opts.MaxAvgLabel * float64(n))
+	}
+	// Test hooks: starting with an engine marked dead exercises the wider
+	// engines on inputs the fast paths would otherwise own, so tests can
+	// pin that every engine commits identical labels.
+	b.bp8Dead = opts.force16 || opts.forceScalar
+	b.bpDead = opts.forceScalar
+	batch := 1
+	for start := 0; start < n; {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		// Engine choice per batch — a pure function of the committed labels
+		// (via maxDist) and the batch's own BFS depth, never of worker
+		// scheduling: 8-bit lanes while distances allow, 16-bit lanes
+		// after, scalar once even those overflow.  A depth bailout redoes
+		// the same batch with the next wider engine; all engines commit
+		// identical labels.
+		ran := false
+		if !b.bpDead && b.maxDist <= twoHopMaxDepth {
+			if !b.bp8Dead && b.maxDist <= twoHopMaxDepth8 {
+				b.lanes8 = true
+				ran = b.runBatchBP(start, end)
+				if !ran {
+					b.bp8Dead = true
+				}
+			}
+			if !ran {
+				b.lanes8 = false
+				ran = b.runBatchBP(start, end)
+				if !ran {
+					b.bpDead = true
+				}
+			}
+		}
+		if ran {
+			b.commitBP(start, end)
+		} else {
+			b.bpDead = true
+			b.runBatchScalar(start, end)
+		}
+		if budget >= 0 && b.total > budget {
+			return nil, 0, false
+		}
+		start = end
+		if batch < twoHopMaxBatch {
+			batch *= 2
+		}
+	}
+	// Re-sort every label from construction (dist<<32|rank) order into the
+	// rank-ascending (rank<<32|dist) order the query and serialisation
+	// layers use: rotate each entry's halves, then sort.  Ranks are
+	// distinct per node, so the result is unique.
+	for v := 0; v < n; v++ {
+		ents := b.lab[v]
+		for i, e := range ents {
+			ents[i] = e<<32 | e>>32
+		}
+		slices.Sort(ents)
+	}
+	return b.lab, b.total, true
+}
+
+// commitEntry appends one (rank, dist) label addition for node v, folding
+// the unsorted tail into the sorted run whenever it exceeds its share.
+// Called from the (serial) commit loops only.
+func (b *twoHopBuilder) commitEntry(v graph.NodeID, rank, d int32) {
+	b.lab[v] = append(b.lab[v], uint64(uint32(d))<<32|uint64(uint32(rank)))
+	if tail := len(b.lab[v]) - int(b.sortedLen[v]); tail >= twoHopTailMin && tail*twoHopTailShare >= len(b.lab[v]) {
+		b.mergeTail(v)
+	}
+}
+
+// mergeTail sorts node v's tail additions by (dist, rank) and merges them
+// into the sorted run.  Amortised cost is O(twoHopTailShare) moves per
+// entry; the resulting order is a pure function of the entry set, so
+// worker scheduling cannot perturb it.
+func (b *twoHopBuilder) mergeTail(v graph.NodeID) {
+	ents := b.lab[v]
+	s := int(b.sortedLen[v])
+	buf := append(b.mergeBuf[:0], ents[s:]...)
+	b.mergeBuf = buf
+	slices.Sort(buf)
+	// Merge backward: sorted run ents[0:s] and the sorted tail in buf fill
+	// ents back to front.  Keys (dist, rank) are unique.
+	w := len(ents)
+	i := s - 1
+	for j := len(buf) - 1; j >= 0; j-- {
+		t := buf[j]
+		for i >= 0 && ents[i] > t {
+			w--
+			ents[w] = ents[i]
+			i--
+		}
+		w--
+		ents[w] = t
+	}
+	b.sortedLen[v] = int32(len(ents))
+}
+
+// ---------------------------------------------------------------------------
+// Bit-parallel engine
+
+// ensureBP sizes the bit-parallel scratch for a batch needing words
+// root-distance words per row filled with sentinel (which fixes the lane
+// width).
+func (b *twoHopBuilder) ensureBP(words int, sentinel uint64) *twoHopBPScratch {
+	bp := b.bp
+	if bp == nil {
+		bp = &twoHopBPScratch{
+			seen:       make([]uint64, b.n),
+			propMask:   make([]uint64, b.n),
+			nextMask:   make([]uint64, b.n),
+			rdWordMask: make([]uint16, b.n),
+			workers:    make([]*twoHopBPWorker, b.workers),
+			sentinel:   sentinel,
+		}
+		for w := range bp.workers {
+			bp.workers[w] = &twoHopBPWorker{}
+		}
+		b.bp = bp
+	}
+	if len(bp.rd) < b.n*words || bp.sentinel != sentinel {
+		// A lane-width switch refills the whole matrix; it happens at most
+		// once per build (maxDist only grows).
+		if len(bp.rd) < b.n*words {
+			bp.rd = make([]uint64, b.n*words)
+		}
+		bp.sentinel = sentinel
+		for i := range bp.rd {
+			bp.rd[i] = sentinel
+		}
+	}
+	bp.words = words
+	return bp
+}
+
+// runBatchBP runs hubs [start, end) as one bit-parallel pruned multi-source
+// BFS, leaving the additions in the worker buffers for commitBP.  It
+// returns false — with all scratch state restored — when the BFS exceeds
+// twoHopMaxDepth, in which case the caller falls back to the scalar
+// engine.
+func (b *twoHopBuilder) runBatchBP(start, end int) bool {
+	B := end - start
+	words := (B + 3) / 4
+	maxDepth := int32(twoHopMaxDepth)
+	sentinel := twoHopSentinelRow
+	if b.lanes8 {
+		words = (B + 7) / 8
+		maxDepth = twoHopMaxDepth8
+		sentinel = twoHopSentinelRow8
+	}
+	bp := b.ensureBP(words, sentinel)
+
+	// Fill the root-distance matrix from the batch roots' committed
+	// labels: lane k of row h gets dist(root_k, hub_h).
+	for k := 0; k < B; k++ {
+		root := b.order[start+k]
+		if b.lanes8 {
+			shift := uint(k&7) * 8
+			for _, e := range b.lab[root] {
+				h := int32(uint32(e))
+				idx := int(h)*words + k>>3
+				bp.rd[idx] = bp.rd[idx]&^(0xFF<<shift) | (e>>32)<<shift
+				bp.rdWordMask[h] |= 1 << uint(k>>3)
+				bp.touched = append(bp.touched, h)
+			}
+		} else {
+			shift := uint(k&3) * 16
+			for _, e := range b.lab[root] {
+				h := int32(uint32(e))
+				idx := int(h)*words + k>>2
+				bp.rd[idx] = bp.rd[idx]&^(0xFFFF<<shift) | (e>>32)<<shift
+				bp.rdWordMask[h] |= 1 << uint(k>>2)
+				bp.touched = append(bp.touched, h)
+			}
+		}
+	}
+
+	// Seed the roots: each labels itself at distance 0 (its own hub rank
+	// is not committed yet, so no coverage test can fire) and propagates
+	// its bit.
+	wk0 := bp.workers[0]
+	for k := 0; k < B; k++ {
+		root := b.order[start+k]
+		bit := uint64(1) << uint(k)
+		bp.seen[root] |= bit
+		bp.propMask[root] |= bit
+		bp.curList = append(bp.curList, root)
+		bp.arrived = append(bp.arrived, root)
+		wk0.addNodes[k] = append(wk0.addNodes[k], root)
+		wk0.addDists[k] = append(wk0.addDists[k], 0)
+	}
+
+	ok := true
+	for d := int32(1); len(bp.curList) > 0; d++ {
+		if d > maxDepth {
+			ok = false
+			break
+		}
+		// Propagate: OR each frontier node's mask into its neighbours'
+		// staging masks.  Serial — one word-OR per edge — so the nextList
+		// dedup gives every staged node exactly one owner below.
+		for _, u := range bp.curList {
+			m := bp.propMask[u]
+			for _, v := range b.g.Neighbors(u) {
+				if bp.nextMask[v] == 0 {
+					bp.nextList = append(bp.nextList, v)
+				}
+				bp.nextMask[v] |= m
+			}
+		}
+		bp.curList = bp.curList[:0]
+		b.processLevel(d)
+		bp.nextList = bp.nextList[:0]
+		for _, wk := range bp.workers {
+			bp.curList = append(bp.curList, wk.curList...)
+			bp.arrived = append(bp.arrived, wk.arrived...)
+			wk.curList = wk.curList[:0]
+			wk.arrived = wk.arrived[:0]
+		}
+	}
+
+	// Restore the shared scratch (and, on bailout, the worker buffers) to
+	// their all-clear state.  nextMask needs nothing: the depth check sits
+	// before propagation, so the last processed level zeroed every entry.
+	for _, v := range bp.arrived {
+		bp.seen[v] = 0
+		bp.propMask[v] = 0
+	}
+	bp.arrived = bp.arrived[:0]
+	bp.curList = bp.curList[:0]
+	for _, h := range bp.touched {
+		row := bp.rd[int(h)*words:]
+		for w := 0; w < words; w++ {
+			row[w] = sentinel
+		}
+		bp.rdWordMask[h] = 0
+	}
+	bp.touched = bp.touched[:0]
+	if !ok {
+		for _, wk := range bp.workers {
+			for k := 0; k < B; k++ {
+				wk.addNodes[k] = wk.addNodes[k][:0]
+				wk.addDists[k] = wk.addDists[k][:0]
+			}
+		}
+	}
+	return ok
+}
+
+// processLevel drains the staged arrivals of level d: coverage-tests every
+// node on nextList and records survivors.  Parallel when the level is
+// large; each staged node appears exactly once on nextList, so workers own
+// disjoint nodes and all writes are race-free.
+func (b *twoHopBuilder) processLevel(d int32) {
+	bp := b.bp
+	list := bp.nextList
+	if len(list) < twoHopBPParallelMin || b.workers == 1 {
+		b.processRange(bp.workers[0], list, d)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func(wk *twoHopBPWorker) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(twoHopBPChunk) - twoHopBPChunk)
+				if lo >= len(list) {
+					return
+				}
+				hi := lo + twoHopBPChunk
+				if hi > len(list) {
+					hi = len(list)
+				}
+				b.processRange(wk, list[lo:hi], d)
+			}
+		}(bp.workers[w])
+	}
+	wg.Wait()
+}
+
+// processRange handles a slice of level-d staged nodes: consume the staging
+// mask, drop already-seen bits, coverage-test the rest, and record label
+// additions and the propagating survivors.
+func (b *twoHopBuilder) processRange(wk *twoHopBPWorker, list []graph.NodeID, d int32) {
+	bp := b.bp
+	for _, v := range list {
+		nm := bp.nextMask[v]
+		bp.nextMask[v] = 0
+		arr := nm &^ bp.seen[v]
+		if arr == 0 {
+			continue
+		}
+		if bp.seen[v] == 0 {
+			wk.arrived = append(wk.arrived, v)
+		}
+		bp.seen[v] |= arr
+		var cov uint64
+		if b.lanes8 {
+			cov = b.coverage8(v, arr, d)
+		} else {
+			cov = b.coverage16(v, arr, d)
+		}
+		surv := arr &^ cov
+		if surv == 0 {
+			continue
+		}
+		bp.propMask[v] = surv
+		wk.curList = append(wk.curList, v)
+		for s := surv; s != 0; s &= s - 1 {
+			k := bits.TrailingZeros64(s)
+			wk.addNodes[k] = append(wk.addNodes[k], v)
+			wk.addDists[k] = append(wk.addDists[k], d)
+		}
+	}
+}
+
+// coverage16 returns the subset of the arrival bits arr whose roots are
+// covered at (v, d): root k is covered when some committed entry (h, dhv)
+// of v's label satisfies dist(root_k, h) + dhv <= d.  One scan of v's
+// label answers every arrived root: each entry becomes a per-root
+// threshold test dist(root_k, h) <= d - dhv, evaluated four roots per word
+// by an exact SWAR lane compare.  The scan runs over the distance-sorted
+// run first — stopping at the first entry with dhv >= d, which no
+// remaining entry can beat — and then over the small unsorted tail.  Words
+// are visited only when they both hold a real lane of the entry's row
+// (rdWordMask) and still have an uncovered arrival; most entries fail the
+// intersection and never touch the matrix.
+func (b *twoHopBuilder) coverage16(v graph.NodeID, arr uint64, d int32) uint64 {
+	bp := b.bp
+	rd := bp.rd
+	wm := bp.rdWordMask
+	words := bp.words
+	ents := b.lab[v]
+	var cov uint64
+	rem := arr
+	// remWW mirrors rem as a bit-per-word mask: bit w set when any of
+	// word w's four roots is still uncovered.
+	remWW := twoHopNibbleMask(rem)
+	s := int(b.sortedLen[v])
+	i, end := 0, s
+	for pass := 0; pass < 2; pass++ {
+		for ; i < end; i++ {
+			e := ents[i]
+			T := d - int32(e>>32)
+			if T <= 0 {
+				if pass == 0 {
+					// Sorted by distance: no later run entry can help
+					// (an entry with dhv >= d could only cover a root at
+					// distance <= 0 from its hub — impossible, batch
+					// roots are uncommitted).
+					break
+				}
+				continue
+			}
+			h := uint32(e)
+			mw := uint64(wm[h]) & remWW
+			if mw == 0 {
+				continue
+			}
+			// Exact 4-lane "lane <= T" compare: with every lane below
+			// 2^15 (lanes cap at twoHopInf16, T+1 at twoHopMaxDepth+1),
+			// setting the lane top bits before subtracting T+1 keeps each
+			// lane's borrow inside the lane, so the surviving top bit is
+			// exactly "lane < T+1".  (The classic hasless() trick is NOT
+			// exact per lane — a lower lane's borrow can corrupt upper
+			// lanes.)
+			D := uint64(uint32(T+1)) * twoHopOnes16
+			base := int(h) * words
+			hitAny := false
+			for ; mw != 0; mw &= mw - 1 {
+				w := bits.TrailingZeros64(mw)
+				z := (rd[base+w] | twoHopHighs16) - D
+				hit := ^z & twoHopHighs16
+				if hit == 0 {
+					continue
+				}
+				cov |= (hit * twoHopMoveMask16 >> 60) << uint(w*4)
+				hitAny = true
+			}
+			if hitAny {
+				// Late in a scan most hits re-flag already-covered
+				// lanes; only refresh the word mask when a root was
+				// newly covered.
+				if nr := arr &^ cov; nr != rem {
+					if nr == 0 {
+						return cov
+					}
+					rem = nr
+					remWW = twoHopNibbleMask(nr)
+				}
+			}
+		}
+		i, end = s, len(ents)
+	}
+	return cov
+}
+
+// coverage8 is coverage16 for 8-bit root-distance lanes: 8 roots per word,
+// same exact SWAR compare one bit-width down (every lane stays below 2^7,
+// so per-lane borrows cannot escape their byte).
+func (b *twoHopBuilder) coverage8(v graph.NodeID, arr uint64, d int32) uint64 {
+	bp := b.bp
+	rd := bp.rd
+	wm := bp.rdWordMask
+	words := bp.words
+	ents := b.lab[v]
+	var cov uint64
+	rem := arr
+	remWW := twoHopByteMask(rem)
+	s := int(b.sortedLen[v])
+	i, end := 0, s
+	for pass := 0; pass < 2; pass++ {
+		for ; i < end; i++ {
+			e := ents[i]
+			T := d - int32(e>>32)
+			if T <= 0 {
+				if pass == 0 {
+					break
+				}
+				continue
+			}
+			h := uint32(e)
+			mw := uint64(wm[h]) & remWW
+			if mw == 0 {
+				continue
+			}
+			D := uint64(uint32(T+1)) * twoHopOnes8
+			base := int(h) * words
+			hitAny := false
+			for ; mw != 0; mw &= mw - 1 {
+				w := bits.TrailingZeros64(mw)
+				z := (rd[base+w] | twoHopHighs8) - D
+				hit := ^z & twoHopHighs8
+				if hit == 0 {
+					continue
+				}
+				cov |= (hit * twoHopMoveMask8 >> 56) << uint(w*8)
+				hitAny = true
+			}
+			if hitAny {
+				// As in coverage16: refresh the word mask only when a
+				// root was newly covered.
+				if nr := arr &^ cov; nr != rem {
+					if nr == 0 {
+						return cov
+					}
+					rem = nr
+					remWW = twoHopByteMask(nr)
+				}
+			}
+		}
+		i, end = s, len(ents)
+	}
+	return cov
+}
+
+// twoHopByteMask collapses each 8-bit root group of m into one bit: bit w
+// of the result is set exactly when any of bits 8w..8w+7 of m is.  (Only
+// shift 7w moves a flag bit at 8w into the low byte, so the cascade is
+// alias-free after masking.)
+func twoHopByteMask(m uint64) uint64 {
+	m |= m >> 1
+	m |= m >> 2
+	m |= m >> 4
+	m &= 0x0101010101010101
+	return (m | m>>7 | m>>14 | m>>21 | m>>28 | m>>35 | m>>42 | m>>49) & 0xFF
+}
+
+// twoHopNibbleMask collapses each 4-bit root group of m into one bit: bit
+// w of the result is set exactly when any of bits 4w..4w+3 of m is.
+func twoHopNibbleMask(m uint64) uint64 {
+	m |= m >> 1
+	m |= m >> 2
+	m &= 0x1111111111111111
+	// One flag bit per nibble (at position 4w); compress to one bit per
+	// position with a shift-or cascade.
+	m = (m | m>>3) & 0x0303030303030303
+	m = (m | m>>6) & 0x000F000F000F000F
+	m = (m | m>>12) & 0x000000FF000000FF
+	m = (m | m>>24) & 0xFFFF
+	return m
+}
+
+// commitBP appends the batch's label additions.  Each node gains at most
+// one entry per root, the k-ascending outer loop fixes the tail append
+// order, and the merged order is by (dist, rank) — all pure functions of
+// the entry set, so the committed bytes do not depend on how additions
+// were split across workers.
+func (b *twoHopBuilder) commitBP(start, end int) {
+	bp := b.bp
+	for k := 0; k < end-start; k++ {
+		rank := int32(start + k)
+		for _, wk := range bp.workers {
+			nodes, dists := wk.addNodes[k], wk.addDists[k]
+			for i, v := range nodes {
+				b.commitEntry(v, rank, dists[i])
+			}
+			b.total += int64(len(nodes))
+			if len(dists) > 0 {
+				// Per-buffer distances are non-decreasing (levels are
+				// processed in order), so the last one is the buffer max.
+				if last := dists[len(dists)-1]; last > b.maxDist {
+					b.maxDist = last
+				}
+			}
+			wk.addNodes[k] = nodes[:0]
+			wk.addDists[k] = dists[:0]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scalar engine (fallback for graphs deeper than the 16-bit lane budget)
+
+// runBatchScalar runs hubs [start, end) as independent per-root pruned
+// BFSes (in parallel across roots) and commits in hub order — the original
+// engine, producing the same labels as the bit-parallel path.
+func (b *twoHopBuilder) runBatchScalar(start, end int) {
+	if b.scalar == nil {
+		b.scalar = make([]*twoHopScratch, b.workers)
+		for w := range b.scalar {
+			sc := &twoHopScratch{
+				dist:     make([]int32, b.n),
+				rootDist: make([]int32, b.n),
+				queue:    make([]graph.NodeID, 0, b.n),
+			}
+			for i := 0; i < b.n; i++ {
+				sc.dist[i] = twoHopUnset
+				sc.rootDist[i] = twoHopUnset
+			}
+			b.scalar[w] = sc
+		}
+		b.results = make([]twoHopAdditions, twoHopMaxBatch)
+	}
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func(sc *twoHopScratch) {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= end {
+					return
+				}
+				b.results[k-start] = b.scalarBFS(b.order[k], sc)
+			}
+		}(b.scalar[w])
+	}
+	wg.Wait()
+	for k := start; k < end; k++ {
+		res := b.results[k-start]
+		for i, v := range res.nodes {
+			b.commitEntry(v, int32(k), res.dists[i])
+		}
+		b.total += int64(len(res.nodes))
+		if len(res.dists) > 0 {
+			if last := res.dists[len(res.dists)-1]; last > b.maxDist {
+				b.maxDist = last
+			}
+		}
+		b.results[k-start] = twoHopAdditions{}
+	}
+}
+
+// scalarBFS runs the pruned BFS from root against the committed labels: a
+// node u reached at distance d is labeled (and expanded) only if no
+// committed two-hop path already certifies dist(root, u) <= d.
+func (b *twoHopBuilder) scalarBFS(root graph.NodeID, sc *twoHopScratch) twoHopAdditions {
+	rootEnts := b.lab[root]
+	for _, e := range rootEnts {
+		sc.rootDist[uint32(e)] = int32(e >> 32)
+	}
+	queue := sc.queue[:0]
+	queue = append(queue, root)
+	sc.dist[root] = 0
+	var out twoHopAdditions
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := sc.dist[u]
+		// Prune when the committed labels already answer dist(root, u):
+		// every two-hop estimate is an upper bound, so estimate <= du
+		// means it equals the true distance and this entry is redundant.
+		// The sorted run allows the same distance cutoff as coverage; the
+		// unsorted tail is scanned in full.
+		covered := false
+		ents := b.lab[u]
+		i, end := 0, int(b.sortedLen[u])
+		for pass := 0; pass < 2 && !covered; pass++ {
+			for ; i < end; i++ {
+				e := ents[i]
+				dhv := int32(e >> 32)
+				if dhv >= du {
+					if pass == 0 {
+						break // sorted: no later run entry can help
+					}
+					continue
+				}
+				if rd := sc.rootDist[uint32(e)]; rd >= 0 && rd+dhv <= du {
+					covered = true
+					break
+				}
+			}
+			i, end = int(b.sortedLen[u]), len(ents)
+		}
+		if covered {
+			continue
+		}
+		out.nodes = append(out.nodes, u)
+		out.dists = append(out.dists, du)
+		for _, v := range b.g.Neighbors(u) {
+			if sc.dist[v] == twoHopUnset {
+				sc.dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Reset the touched scratch entries so the next BFS starts clean.
+	for _, u := range queue {
+		sc.dist[u] = twoHopUnset
+	}
+	for _, e := range rootEnts {
+		sc.rootDist[uint32(e)] = twoHopUnset
+	}
+	sc.queue = queue
+	return out
+}

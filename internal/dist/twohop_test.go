@@ -200,6 +200,9 @@ func TestSourcePolicyResolve(t *testing.T) {
 	if _, ok := PolicyTwoHop.Resolve(small, metric).(*TwoHop); !ok {
 		t.Fatal("twohop policy must build the oracle even when a metric exists")
 	}
+	if th, ok := PolicyTwoHopPacked.Resolve(small, metric).(*TwoHop); !ok || !th.Packed() {
+		t.Fatal("twohop-packed policy must build a packed oracle even when a metric exists")
+	}
 	if src := PolicyAuto.Resolve(small, metric); !isMetric(src) {
 		t.Fatal("auto policy must prefer the metric")
 	}

@@ -31,8 +31,12 @@ import (
 //     labels grow ~n^{0.45} (avg 92 at n = 2^16), workable to ~2^18.
 //   - ws (Watts–Strogatz), gnp (connected G(n,p)), regular (random
 //     4-regular): expander-like, 2-hop covers inherently grow ~sqrt(n)
-//     (avg 390-1500 at n = 2^14); these cap at 2^16 where the auto policy
-//     falls back to BFS fields at bounded cost.
+//     (avg 390-1500 at n = 2^14).  The bit-parallel batch engine and the
+//     packed label representation moved the build wall (a regular-graph
+//     label build that took ~3 min now takes ~35 s, see
+//     BENCH_experiments.json twohop_builds), so ws and gnp sweep to 2^17;
+//     above the auto label budget the policy still falls back to BFS
+//     fields at bounded cost, identically.
 func E12() scenario.Spec {
 	return scenario.Sweep{
 		ID:    "E12",
@@ -60,20 +64,25 @@ func E12() scenario.Spec {
 				return gen.RandomAttachmentTree(n, rng), nil
 			}),
 		},
-		Sizes:   []int{4096, 16384, 65536, 262144, 1048576},
+		Sizes:   []int{4096, 16384, 65536, 131072, 262144, 1048576},
 		Schemes: []scenario.SchemeRef{uniformScheme(), ballScheme(), scenario.Scheme(augment.NewHarmonicScheme(2))},
 		Pairs:   4,
 		Trials:  3,
-		// Expander-like families stop at 2^16: their 2-hop labels grow
+		// Expander-like families are capped: their 2-hop labels grow
 		// ~sqrt(n) (the documented infeasibility half of the experiment)
 		// and their per-draw ball/harmonic sampling has no analytic
-		// shortcut either.  The tree-like families carry the sweep to 2^20.
+		// shortcut either.  ws and gnp run past 2^16 since the bit-parallel
+		// + packed-label build moved the wall; regular (the densest cover,
+		// ~1500 avg entries already at 2^14) stays at 2^16.  The tree-like
+		// families carry the sweep to 2^20.
 		CellFilter: func(family, _ string, n int) bool {
 			switch family {
 			case "plaw-tree", "ratree":
 				return true
 			case "powerlaw":
 				return n <= 262144
+			case "ws", "gnp":
+				return n <= 131072
 			default:
 				return n <= 65536
 			}

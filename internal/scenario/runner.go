@@ -304,7 +304,7 @@ func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.Field
 			}
 		}
 		oracleStart := time.Now()
-		e.source = r.cfg.Oracle.Resolve(bg.G, metric)
+		e.source = r.cfg.Oracle.ResolveWith(bg.G, metric, r.cfg.Workers)
 		if th, ok := e.source.(*dist.TwoHop); ok {
 			r.oracleProgress(ref, th, time.Since(oracleStart))
 		}

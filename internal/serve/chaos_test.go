@@ -33,6 +33,7 @@ type chaosStats struct {
 	Shed          int64    `json:"shed"`
 	Panics        int64    `json:"panics"`
 	Repairs       int64    `json:"repairs"`
+	RepairFails   int64    `json:"repair_failures"`
 	ApproxAnswers int64    `json:"approx_answers"`
 	Timeouts      int64    `json:"timeouts"`
 	BreakersOpen  int      `json:"breakers_open"`
@@ -203,6 +204,9 @@ func TestPanicQuarantineRepairRecover(t *testing.T) {
 	}
 	if mid.Repairs == 0 {
 		t.Fatal("breakers never tripped into quarantine-repair")
+	}
+	if mid.RepairFails != 0 {
+		t.Fatalf("%d repair/restore rebuilds failed loudly (should be structurally impossible)", mid.RepairFails)
 	}
 
 	// Recovery: keep sending probe traffic until both shards have closed

@@ -84,8 +84,11 @@ func (li *liveInstance) load() (augment.Instance, bool) {
 // repair re-samples the contact rows in [lo, hi) — the quarantined shard's
 // slice of the node space — with fresh uniform draws, leaving every other
 // row untouched.  The replacement table is a fresh allocation, so in-flight
-// readers keep their consistent old view.
-func (li *liveInstance) repair(shardID, lo, hi int, rng *xrand.RNG) {
+// readers keep their consistent old view.  It reports whether the swap
+// happened: a false return means the rebuilt table failed validation and
+// the possibly-poisoned rows are still live, which the caller must surface
+// (Server.repairFailures) rather than swallow.
+func (li *liveInstance) repair(shardID, lo, hi int, rng *xrand.RNG) bool {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	cur := li.cur.Load()
@@ -96,25 +99,30 @@ func (li *liveInstance) repair(shardID, lo, hi int, rng *xrand.RNG) {
 	}
 	st, err := augment.NewStatic(cur.Name(), table)
 	if err != nil {
-		return // uniform draws over [0,n) cannot fail validation
+		// Impossible by construction: uniform draws over [0,n) always
+		// validate.  Refuse to mark the shard clean.
+		return false
 	}
 	li.dirty[shardID] = true
 	li.cur.Store(st)
+	return true
 }
 
 // restore copies the frozen rows [lo, hi) back.  When the last dirty shard
 // restores, cur snaps back to the orig pointer itself, making recovery
-// exact by construction — not merely value-equal but the same table.
-func (li *liveInstance) restore(shardID, lo, hi int) {
+// exact by construction — not merely value-equal but the same table.  A
+// false return mirrors repair: the rebuild failed validation and the shard
+// stays dirty.
+func (li *liveInstance) restore(shardID, lo, hi int) bool {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	if !li.dirty[shardID] {
-		return
+		return true
 	}
 	delete(li.dirty, shardID)
 	if len(li.dirty) == 0 {
 		li.cur.Store(li.orig)
-		return
+		return true
 	}
 	cur := li.cur.Load()
 	table := append([]graph.NodeID(nil), cur.Contacts()...)
@@ -124,9 +132,13 @@ func (li *liveInstance) restore(shardID, lo, hi int) {
 	}
 	st, err := augment.NewStatic(cur.Name(), table)
 	if err != nil {
-		return
+		// Impossible by construction (frozen rows already validated once);
+		// keep the shard marked dirty so a later restore retries.
+		li.dirty[shardID] = true
+		return false
 	}
 	li.cur.Store(st)
+	return true
 }
 
 // shardRange is the node slice shard id owns out of n nodes across w
@@ -141,7 +153,9 @@ func (s *Server) repairShard(sh *Shard) {
 	lo, hi := shardRange(sh.ID, s.opts.Workers, s.g.N())
 	for _, insts := range s.live {
 		for _, li := range insts {
-			li.repair(sh.ID, lo, hi, sh.RNG)
+			if !li.repair(sh.ID, lo, hi, sh.RNG) {
+				s.repairFailures.Add(1)
+			}
 		}
 	}
 	s.repairs.Add(1)
@@ -152,7 +166,9 @@ func (s *Server) restoreShard(sh *Shard) {
 	lo, hi := shardRange(sh.ID, s.opts.Workers, s.g.N())
 	for _, insts := range s.live {
 		for _, li := range insts {
-			li.restore(sh.ID, lo, hi)
+			if !li.restore(sh.ID, lo, hi) {
+				s.repairFailures.Add(1)
+			}
 		}
 	}
 }

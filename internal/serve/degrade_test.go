@@ -57,7 +57,9 @@ func TestLiveInstanceRepairRestore(t *testing.T) {
 
 	rng := xrand.New(42)
 	lo1, hi1 := shardRange(1, workers, n)
-	li.repair(1, lo1, hi1, rng)
+	if !li.repair(1, lo1, hi1, rng) {
+		t.Fatal("repair of a healthy table reported failure")
+	}
 	inst, approx := li.load()
 	if !approx {
 		t.Fatal("repaired overlay not marked approximate")
@@ -73,8 +75,12 @@ func TestLiveInstanceRepairRestore(t *testing.T) {
 	// A second shard repairs too; restoring shard 1 must keep shard 2's
 	// rows repaired.
 	lo2, hi2 := shardRange(2, workers, n)
-	li.repair(2, lo2, hi2, rng)
-	li.restore(1, lo1, hi1)
+	if !li.repair(2, lo2, hi2, rng) {
+		t.Fatal("repair of shard 2 reported failure")
+	}
+	if !li.restore(1, lo1, hi1) {
+		t.Fatal("restore of shard 1 reported failure")
+	}
 	inst, approx = li.load()
 	if !approx {
 		t.Fatal("overlay with shard 2 still dirty claims exact")

@@ -388,33 +388,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		landmarks = s.landmark.K()
 	}
 	writeJSON(w, map[string]any{
-		"family":         s.snap.Meta.Family,
-		"graph":          s.g.Name(),
-		"n":              s.g.N(),
-		"m":              s.g.M(),
-		"seed":           s.snap.Meta.Seed,
-		"oracle":         s.oracle(),
-		"tier":           tier,
-		"degraded":       s.degradedNow(),
-		"quarantined":    s.snap.Quarantined,
-		"draining":       s.draining.Load(),
-		"schemes":        schemes,
-		"workers":        s.opts.Workers,
-		"queue_depth":    s.opts.QueueDepth,
-		"landmarks":      landmarks,
-		"breakers_open":  s.pool.TrippedBreakers(),
-		"uptime_s":       time.Since(s.start).Seconds(),
-		"requests":       s.requests.Load(),
-		"dist_queries":   s.distQueries.Load(),
-		"route_queries":  s.routeQueries.Load(),
-		"errors":         s.errors.Load(),
-		"shed":           s.shed.Load(),
-		"panics":         s.panics.Load(),
-		"repairs":        s.repairs.Load(),
-		"approx_answers": s.approxAnswers.Load(),
-		"timeouts":       s.timeouts.Load(),
-		"peak_rss_bytes": peakRSSBytes(),
-		"goroutines":     runtime.NumGoroutine(),
-		"cached_fields":  s.fields.Len(),
+		"family":          s.snap.Meta.Family,
+		"graph":           s.g.Name(),
+		"n":               s.g.N(),
+		"m":               s.g.M(),
+		"seed":            s.snap.Meta.Seed,
+		"oracle":          s.oracle(),
+		"tier":            tier,
+		"degraded":        s.degradedNow(),
+		"quarantined":     s.snap.Quarantined,
+		"draining":        s.draining.Load(),
+		"schemes":         schemes,
+		"workers":         s.opts.Workers,
+		"queue_depth":     s.opts.QueueDepth,
+		"landmarks":       landmarks,
+		"breakers_open":   s.pool.TrippedBreakers(),
+		"uptime_s":        time.Since(s.start).Seconds(),
+		"requests":        s.requests.Load(),
+		"dist_queries":    s.distQueries.Load(),
+		"route_queries":   s.routeQueries.Load(),
+		"errors":          s.errors.Load(),
+		"shed":            s.shed.Load(),
+		"panics":          s.panics.Load(),
+		"repairs":         s.repairs.Load(),
+		"repair_failures": s.repairFailures.Load(),
+		"approx_answers":  s.approxAnswers.Load(),
+		"timeouts":        s.timeouts.Load(),
+		"peak_rss_bytes":  peakRSSBytes(),
+		"goroutines":      runtime.NumGoroutine(),
+		"cached_fields":   s.fields.Len(),
 	})
 }

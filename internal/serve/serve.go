@@ -138,15 +138,21 @@ type Server struct {
 
 	draining atomic.Bool
 
-	requests      atomic.Int64
-	distQueries   atomic.Int64
-	routeQueries  atomic.Int64
-	errors        atomic.Int64
-	shed          atomic.Int64
-	panics        atomic.Int64
-	repairs       atomic.Int64
-	approxAnswers atomic.Int64
-	timeouts      atomic.Int64
+	requests     atomic.Int64
+	distQueries  atomic.Int64
+	routeQueries atomic.Int64
+	errors       atomic.Int64
+	shed         atomic.Int64
+	panics       atomic.Int64
+	repairs      atomic.Int64
+	// repairFailures counts repair/restore table rebuilds that failed
+	// validation.  By construction it stays zero — uniform draws over
+	// [0,n) and frozen original rows always validate — so any non-zero
+	// value in /v1/stats is a loud bug report, not a silent no-op (the
+	// shard would otherwise be marked clean with its rows never swapped).
+	repairFailures atomic.Int64
+	approxAnswers  atomic.Int64
+	timeouts       atomic.Int64
 }
 
 // New builds a Server over a loaded snapshot.  The snapshot must contain a
@@ -252,6 +258,9 @@ func (s *Server) oracle() string {
 	case s.snap.Metric != nil:
 		return "analytic"
 	case s.snap.TwoHop != nil:
+		if s.snap.TwoHop.Packed() {
+			return "twohop-packed"
+		}
 		return "twohop"
 	default:
 		return "field-cache"

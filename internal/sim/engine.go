@@ -150,7 +150,7 @@ func (e *Engine) EstimateInstance(g *graph.Graph, schemeName string, inst augmen
 		// Resolve the distance tier for this one estimation the way the
 		// scenario runner does per graph; nil means BFS fields below.
 		metric, _ := gen.MetricFor(g)
-		cfg.DistSource = cfg.Policy.Resolve(g, metric)
+		cfg.DistSource = cfg.Policy.ResolveWith(g, metric, cfg.Workers)
 	}
 	var fields *dist.FieldCache
 	if cfg.DistSource == nil {

@@ -6,7 +6,8 @@ import (
 )
 
 // CorruptSection flips a byte in the payload of the first section of the
-// named kind ("meta", "graph", "metric", "twohop" or "scheme"), in place.
+// named kind ("meta", "graph", "metric", "twohop", "twohop-packed" or
+// "scheme"), in place.
 // The section table entry keeps the original checksum, so a strict
 // ReadBytes rejects the buffer and a tolerant ReadBytesTolerant
 // quarantines exactly that section.  It exists for fault injection — the
@@ -23,6 +24,8 @@ func CorruptSection(b []byte, kind string) error {
 		want = kindMetric
 	case "twohop":
 		want = kindTwoHop
+	case "twohop-packed":
+		want = kindTwoHopPacked
 	case "scheme":
 		want = kindScheme
 	default:

@@ -1,0 +1,83 @@
+package snapshot_test
+
+// Packed-oracle snapshot section (kind 6): round-trip fidelity, write
+// determinism, tolerant-read quarantine and backward compatibility with
+// raw-section (kind 4) files.  The compressed representation must be
+// invisible at the query layer — only the bytes on disk shrink.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"navaug/internal/dist"
+	"navaug/internal/snapshot"
+)
+
+func TestRoundTripPackedTwoHop(t *testing.T) {
+	fresh, b := buildCase(t, "gnp", 300, dist.PolicyTwoHopPacked, "ball", "uniform")
+	if fresh.TwoHop == nil || !fresh.TwoHop.Packed() {
+		t.Fatalf("twohop-packed policy did not produce a packed oracle")
+	}
+	loaded, err := snapshot.ReadBytes(b)
+	if err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	if loaded.TwoHop == nil || !loaded.TwoHop.Packed() {
+		t.Fatal("packed oracle did not survive the round trip packed")
+	}
+
+	// Write determinism and the write → read → write fixpoint, same as the
+	// raw section.
+	b2, err := fresh.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("packed serialisation is not deterministic")
+	}
+	b3, err := loaded.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b3) {
+		t.Fatal("write → read → write is not a fixpoint for the packed section")
+	}
+
+	// Every distance byte-identical to the fresh build, and exact.
+	comparePairs(t, loaded.Graph, fresh.TwoHop, loaded.TwoHop)
+	compareRoutes(t, fresh, loaded)
+
+	// The same build stored raw must give the same answers and a larger
+	// file: the compression is real and purely representational.
+	rawSnap, rawBytes := buildCase(t, "gnp", 300, dist.PolicyTwoHop, "ball", "uniform")
+	comparePairs(t, loaded.Graph, rawSnap.TwoHop, loaded.TwoHop)
+	if len(b) >= len(rawBytes) {
+		t.Fatalf("packed snapshot (%d B) not smaller than raw (%d B)", len(b), len(rawBytes))
+	}
+}
+
+func TestTolerantReadQuarantinesPackedTwoHop(t *testing.T) {
+	fresh, b := buildCase(t, "gnp", 300, dist.PolicyTwoHopPacked, "ball")
+	bad := corrupted(t, b, "twohop-packed")
+
+	if _, err := snapshot.ReadBytes(bad); err == nil {
+		t.Fatal("strict reader accepted a corrupt twohop-packed section")
+	}
+	s, err := snapshot.ReadBytesTolerant(bad)
+	if err != nil {
+		t.Fatalf("tolerant read: %v", err)
+	}
+	if !reflect.DeepEqual(s.Quarantined, []string{"twohop-packed"}) {
+		t.Fatalf("Quarantined = %v, want [twohop-packed]", s.Quarantined)
+	}
+	if s.TwoHop != nil {
+		t.Fatal("quarantined packed section still decoded")
+	}
+	if s.Graph == nil || s.Graph.N() != fresh.Graph.N() {
+		t.Fatal("graph damaged by an unrelated quarantine")
+	}
+	if !reflect.DeepEqual(s.Schemes, fresh.Schemes) {
+		t.Fatal("schemes damaged by an unrelated quarantine")
+	}
+}

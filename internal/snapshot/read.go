@@ -101,6 +101,7 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 	s := &Snapshot{}
 	var sawMeta, sawGraph, sawMetric, sawTwoHop bool
 	var pendingTwoHop *cursor
+	var pendingTwoHopPacked bool
 	type schemePending struct {
 		idx int // per-kind index, for the quarantine name
 		c   *cursor
@@ -114,6 +115,8 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 			s.Quarantined = append(s.Quarantined, "metric")
 		case kindTwoHop:
 			s.Quarantined = append(s.Quarantined, "twohop")
+		case kindTwoHopPacked:
+			s.Quarantined = append(s.Quarantined, "twohop-packed")
 		case kindScheme:
 			s.Quarantined = append(s.Quarantined, fmt.Sprintf("scheme[%d]", schemeIdx))
 		}
@@ -148,7 +151,7 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 		prevEnd = offset + length
 		payload := b[offset : offset+length]
 		if got := crc64.Checksum(payload, crcTable); got != sum {
-			if tolerant && (kind == kindMetric || kind == kindTwoHop || kind == kindScheme) {
+			if tolerant && (kind == kindMetric || kind == kindTwoHop || kind == kindTwoHopPacked || kind == kindScheme) {
 				// The layout bookkeeping above already validated this slab's
 				// place in the file; only its contents are damaged.  Keep the
 				// saw-flags honest (a duplicate of a quarantined section is
@@ -159,7 +162,7 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 						return nil, fmt.Errorf("snapshot: duplicate metric section")
 					}
 					sawMetric = true
-				case kindTwoHop:
+				case kindTwoHop, kindTwoHopPacked:
 					if sawTwoHop {
 						return nil, fmt.Errorf("snapshot: duplicate 2-hop section")
 					}
@@ -216,6 +219,13 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 			}
 			sawTwoHop = true
 			pendingTwoHop = &cursor{b: payload}
+		case kindTwoHopPacked:
+			if sawTwoHop {
+				return nil, fmt.Errorf("snapshot: duplicate 2-hop section")
+			}
+			sawTwoHop = true
+			pendingTwoHop = &cursor{b: payload}
+			pendingTwoHopPacked = true
 		case kindScheme:
 			pendingSchemes = append(pendingSchemes, schemePending{idx: schemeIdx, c: &cursor{b: payload}})
 			schemeIdx++
@@ -254,12 +264,16 @@ func readBytes(b []byte, tolerant bool) (*Snapshot, error) {
 		}
 	}
 	if pendingTwoHop != nil {
-		t, err := decodeTwoHop(pendingTwoHop, s.Graph.N())
+		decode, kind := decodeTwoHop, kindTwoHop
+		if pendingTwoHopPacked {
+			decode, kind = decodeTwoHopPacked, kindTwoHopPacked
+		}
+		t, err := decode(pendingTwoHop, s.Graph.N())
 		if err != nil {
 			if !tolerant {
 				return nil, err
 			}
-			quarantine(kindTwoHop)
+			quarantine(kind)
 		} else {
 			s.TwoHop = t
 		}
@@ -355,6 +369,44 @@ func decodeTwoHop(c *cursor, graphN int) (*dist.TwoHop, error) {
 		return nil, err
 	}
 	t, err := dist.TwoHopFromRaw(n, order, index, hubs, dists)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return t, nil
+}
+
+// decodeTwoHopPacked parses the compressed 2-hop section; the heavy
+// lifting — varint well-formedness, monotone offsets, rank and distance
+// ranges — happens in dist.TwoHopPackedFromRaw, which walks every label
+// stream once before accepting the oracle.
+func decodeTwoHopPacked(c *cursor, graphN int) (*dist.TwoHop, error) {
+	n, err := c.count("2-hop node count", MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if n != graphN {
+		return nil, fmt.Errorf("snapshot: 2-hop section covers %d nodes, graph has %d", n, graphN)
+	}
+	blobLen, err := c.count("2-hop blob length", len(c.b))
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.i32s("hub order", n)
+	if err != nil {
+		return nil, err
+	}
+	poff, err := c.i64s("label offsets", n+1)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.bytes("label blob", blobLen)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	t, err := dist.TwoHopPackedFromRaw(n, order, poff, blob)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -457,6 +509,17 @@ func (c *cursor) i32s(what string, count int) ([]int32, error) {
 		return nil, fmt.Errorf("snapshot: %s declares %d entries, only %d bytes remain", what, count, c.remaining())
 	}
 	v := viewInt32(c.b[c.off : c.off+count*4])
+	c.off += need
+	return v, nil
+}
+
+// bytes returns a count-byte view of the next slab (padded to 8).
+func (c *cursor) bytes(what string, count int) ([]byte, error) {
+	need := align8(count)
+	if count < 0 || c.remaining() < need {
+		return nil, fmt.Errorf("snapshot: %s declares %d bytes, only %d remain", what, count, c.remaining())
+	}
+	v := c.b[c.off : c.off+count]
 	c.off += need
 	return v, nil
 }

@@ -61,13 +61,18 @@ const (
 	sectionEntrySize = 40
 )
 
-// Section kinds.
+// Section kinds.  A snapshot carries at most one 2-hop section, in either
+// representation: kindTwoHop is the raw CSR label layout, kindTwoHopPacked
+// the delta+varint compressed one (written when the oracle was built
+// packed; readers predating it reject only snapshots that actually use
+// it, raw snapshots are unchanged byte for byte).
 const (
-	kindMeta   uint32 = 1
-	kindGraph  uint32 = 2
-	kindMetric uint32 = 3
-	kindTwoHop uint32 = 4
-	kindScheme uint32 = 5
+	kindMeta         uint32 = 1
+	kindGraph        uint32 = 2
+	kindMetric       uint32 = 3
+	kindTwoHop       uint32 = 4
+	kindScheme       uint32 = 5
+	kindTwoHopPacked uint32 = 6
 )
 
 // Reader hardening caps: structural bounds checked before any allocation,

@@ -43,7 +43,11 @@ func (s *Snapshot) Bytes() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		secs = append(secs, section{kindTwoHop, tp})
+		kind := kindTwoHop
+		if s.TwoHop.Packed() {
+			kind = kindTwoHopPacked
+		}
+		secs = append(secs, section{kind, tp})
 	}
 	for i := range s.Schemes {
 		sp, err := encodeScheme(s, &s.Schemes[i])
@@ -202,8 +206,17 @@ func encodeTwoHop(s *Snapshot) ([]byte, error) {
 	if t.N() != s.Graph.N() {
 		return nil, fmt.Errorf("snapshot: 2-hop oracle covers %d nodes, graph has %d", t.N(), s.Graph.N())
 	}
-	order, index, hubs, dists := t.Raw()
 	var e enc
+	if t.Packed() {
+		order, poff, blob := t.RawPacked()
+		e.u64(uint64(t.N()))
+		e.u64(uint64(len(blob)))
+		e.i32s(order)
+		e.i64s(poff)
+		e.raw(blob)
+		return e.buf, nil
+	}
+	order, index, hubs, dists := t.Raw()
 	e.u64(uint64(t.N()))
 	e.u64(uint64(len(hubs)))
 	e.i32s(order)
@@ -261,6 +274,12 @@ func (e *enc) u64(v uint64) {
 // str emits a u64 length followed by the raw bytes, padded to 8.
 func (e *enc) str(v string) {
 	e.u64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+	e.pad()
+}
+
+// raw emits the bytes as-is, padded to 8 (length is carried separately).
+func (e *enc) raw(v []byte) {
 	e.buf = append(e.buf, v...)
 	e.pad()
 }
