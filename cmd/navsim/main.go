@@ -1,8 +1,10 @@
-// Command navsim runs the paper-reproduction experiments (E1..E12,
+// Command navsim runs the paper-reproduction experiments (E1..E13,
 // including the E11 large-n mode that sweeps million-node tori and
-// hypercubes through analytic O(1) distance oracles, and the E12
+// hypercubes through analytic O(1) distance oracles, the E12
 // universality sweep that reaches million-node unstructured graphs through
-// the exact 2-hop-cover oracle), ad-hoc greedy-diameter estimations, and
+// the exact 2-hop-cover oracle, and the E13 churn experiment that routes
+// on dynamic graphs maintained by incremental 2-hop label repair under a
+// per-batch budget), ad-hoc greedy-diameter estimations, and
 // the routing-as-a-service mode: `snapshot` freezes built oracles and
 // augmentation tables into a .navsnap file, `serve` answers distance and
 // routing queries over HTTP from such a file with no rebuild, and

@@ -1,0 +1,26 @@
+package augment
+
+import (
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// ResampleDirty redraws the long-range contacts of the dirty nodes in a
+// frozen contact table, in place.  It is the augmentation half of churn
+// repair: when edge deltas dirty a node (its distance field changed — see
+// dist.DynTwoHop), the contact it drew from the pre-churn distribution no
+// longer reflects the scheme, so the churn pipeline redraws exactly those
+// nodes and leaves everyone else's frozen link untouched.
+//
+// Determinism: each dirty node's draw is seeded from (seed, gen, node)
+// alone — one golden-ratio mix per node, independent of the dirty slice's
+// length, of the order other nodes appear in, and of how many draws the
+// instance consumes per contact.  The same (seed, gen, dirty set) therefore
+// produces the same table on every run and at every worker count.
+func ResampleDirty(inst Instance, contacts []graph.NodeID, dirty []graph.NodeID, seed, gen uint64) {
+	rng := xrand.New(seed)
+	for _, u := range dirty {
+		rng.Reseed(seed ^ (gen+1)*0x9e3779b97f4a7c15 ^ (uint64(u)+1)*0xbf58476d1ce4e5b9)
+		contacts[u] = inst.Contact(u, rng)
+	}
+}

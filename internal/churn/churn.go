@@ -1,0 +1,231 @@
+// Package churn drives dynamic-graph experiments: it turns a static base
+// graph into a deterministic stream of edge delta batches (deletions paired
+// with fresh insertions at a configured rate), applies them through the
+// incremental 2-hop repair oracle (dist.DynTwoHop), resamples the dirtied
+// nodes' augmentation contacts, and hands the resulting final graph, oracle
+// and frozen contact tables to the scenario engine.
+//
+// Determinism contract: the whole pipeline is a pure function of
+// (base graph, seed, Spec, dirty sets).  The delta stream depends only on
+// the seed and StreamKey — NOT on the repair budget — so two runs differing
+// only in budget churn identical edges and dirty identical nodes; only the
+// repair quality (oracle debt) differs.  That separation is what lets
+// experiment E13 attribute routing degradation to the budget alone.
+package churn
+
+import (
+	"fmt"
+
+	"navaug/internal/augment"
+	"navaug/internal/dist"
+	"navaug/internal/graph"
+	"navaug/internal/xrand"
+)
+
+// Spec configures one churn pipeline.
+type Spec struct {
+	// Rate is the fraction of the current edge set deleted (and replaced by
+	// the same number of fresh random edges) per batch.  Each batch deletes
+	// at least one edge, so tiny graphs still churn.
+	Rate float64
+	// Batches is the number of delta batches applied.
+	Batches int
+	// RepairBudget caps how many dirty nodes the oracle re-labels per batch:
+	// < 0 means unlimited (the oracle stays exact), 0 means track debt only
+	// (answers go stale until a compaction).
+	RepairBudget int
+	// CompactEvery > 0 rebases the overlay into a fresh CSR and rebuilds the
+	// oracle from scratch after every CompactEvery batches — except after the
+	// final batch, so measurements see the budget's effect, not a rebuild's.
+	CompactEvery int
+}
+
+// Key identifies the full spec, including the repair budget.  It is part of
+// the scenario engine's graph cache identity: cells with different budgets
+// must not share a pipeline.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s-k%d", s.StreamKey(), s.RepairBudget)
+}
+
+// StreamKey identifies the delta stream alone — rate, batch count and
+// compaction cadence, but NOT the repair budget.  Seeding the stream from
+// StreamKey makes the churned edges and dirty sets identical across budget
+// cells.
+func (s Spec) StreamKey() string {
+	return fmt.Sprintf("r%g-b%d-c%d", s.Rate, s.Batches, s.CompactEvery)
+}
+
+// Result is everything a churn pipeline produced.
+type Result struct {
+	Spec Spec
+	// Base is the graph the pipeline started from; Final is the compacted
+	// CSR after the last batch (the graph routing runs on).
+	Base  *graph.Graph
+	Final *graph.Graph
+	// Dyn is the dynamic graph at its final state; Gen is its generation.
+	Dyn *graph.DynGraph
+	Gen uint64
+	// Oracle is the incrementally repaired distance oracle, generation-
+	// checked against Dyn.  Its debt reflects the configured budget.
+	Oracle *dist.DynTwoHop
+	// Fields is a field cache over Final, stamped with Gen so stale reads
+	// fail loud (dist.FieldCache.FieldAt).
+	Fields *dist.FieldCache
+	// Seed is the stream seed the pipeline ran with.
+	Seed uint64
+	// Dirty holds, per batch, the sorted dirty set ApplyBatch reported.
+	Dirty [][]graph.NodeID
+
+	// Stream and repair tallies.
+	EdgesDeleted  int
+	EdgesInserted int
+	DirtyTotal    int64
+	PatchedTotal  int64
+	DebtRemaining int
+	Rebuilds      int64
+	// Components and LargestComponent describe Final's connectivity — churn
+	// can disconnect a graph, and the sim reports such pairs as unreachable
+	// rather than erroring (see internal/graph/ops.go).
+	Components       int
+	LargestComponent int
+}
+
+// Run executes the churn pipeline on base: Batches delta batches at the
+// spec's rate, each applied through a DynTwoHop repair step with the spec's
+// budget, with periodic compaction.  All randomness comes from seed; equal
+// (base, seed, spec) produce identical results at every worker count
+// (workers only parallelises the oracle's label construction, which is
+// worker-count invariant by dist.TwoHop's contract).
+func Run(base *graph.Graph, seed uint64, spec Spec, workers int) (*Result, error) {
+	if spec.Batches <= 0 {
+		return nil, fmt.Errorf("churn: spec needs at least one batch, got %d", spec.Batches)
+	}
+	if spec.Rate < 0 || spec.Rate > 1 {
+		return nil, fmt.Errorf("churn: rate %g out of [0,1]", spec.Rate)
+	}
+	d := graph.NewDynGraph(base)
+	oracle, err := dist.NewDynTwoHop(d, dist.TwoHopOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, Base: base, Dyn: d, Oracle: oracle, Seed: seed}
+	rng := xrand.New(seed)
+	for b := 0; b < spec.Batches; b++ {
+		deltas := nextBatch(d, rng, spec.Rate)
+		for _, dl := range deltas {
+			if dl.Op == graph.DeltaDelete {
+				res.EdgesDeleted++
+			} else {
+				res.EdgesInserted++
+			}
+		}
+		dirty, err := oracle.ApplyBatch(d, deltas, spec.RepairBudget)
+		if err != nil {
+			return nil, fmt.Errorf("churn: batch %d: %w", b, err)
+		}
+		res.Dirty = append(res.Dirty, dirty)
+		if spec.CompactEvery > 0 && (b+1)%spec.CompactEvery == 0 && b+1 < spec.Batches {
+			d.Rebase()
+			if err := oracle.Rebuild(d); err != nil {
+				return nil, fmt.Errorf("churn: rebuild after batch %d: %w", b, err)
+			}
+		}
+	}
+	res.Gen = d.Gen()
+	if err := oracle.CheckGen(res.Gen); err != nil {
+		return nil, err
+	}
+	res.Final = d.Compact()
+	res.Fields = dist.NewFieldCacheAt(res.Final, 64, res.Gen)
+	st := oracle.Stats()
+	res.DirtyTotal = st.DirtyTotal
+	res.PatchedTotal = st.PatchedTotal
+	res.DebtRemaining = oracle.Debt()
+	res.Rebuilds = st.Rebuilds
+	for _, comp := range res.Final.Components() {
+		res.Components++
+		if len(comp) > res.LargestComponent {
+			res.LargestComponent = len(comp)
+		}
+	}
+	return res, nil
+}
+
+// nextBatch draws one delta batch from the stream rng: k deletions of
+// current edges (k = max(1, rate·m)) and up to k insertions of fresh
+// non-edges.  Insertion candidates are rejection-sampled against the
+// pre-batch edge set plus the batch itself; an insertion that finds no free
+// slot in 128 attempts is dropped (dense graphs), which only shrinks the
+// batch deterministically.
+func nextBatch(d *graph.DynGraph, rng *xrand.RNG, rate float64) []graph.Delta {
+	edges := d.Edges()
+	k := int(rate * float64(len(edges)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(edges) {
+		k = len(edges)
+	}
+	deltas := make([]graph.Delta, 0, 2*k)
+	pending := make(map[[2]graph.NodeID]bool, 2*k)
+	for i := 0; i < k && len(edges) > 0; i++ {
+		j := rng.Intn(len(edges))
+		e := edges[j]
+		edges[j] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+		deltas = append(deltas, graph.Delta{U: e.U, V: e.V, Op: graph.DeltaDelete})
+		pending[[2]graph.NodeID{e.U, e.V}] = true
+	}
+	n := d.N()
+	for i := 0; i < k; i++ {
+		for attempt := 0; attempt < 128; attempt++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := [2]graph.NodeID{u, v}
+			if pending[key] || d.HasEdge(u, v) {
+				continue
+			}
+			pending[key] = true
+			deltas = append(deltas, graph.Delta{U: u, V: v, Op: graph.DeltaInsert})
+			break
+		}
+	}
+	return deltas
+}
+
+// FrozenTable freezes one full contact table of scheme s for the churned
+// graph: a base draw over the pre-churn graph (seeded by the stream seed
+// and the scheme name), then — batch by batch, in stream order — a local
+// redraw of exactly the nodes that batch dirtied (augment.ResampleDirty).
+// Clean nodes keep their original frozen contact throughout, mirroring how
+// a deployed overlay would only re-establish links whose underlying
+// distances actually changed.
+func FrozenTable(res *Result, s augment.Scheme) (*augment.Static, error) {
+	inst, err := s.Prepare(res.Base)
+	if err != nil {
+		return nil, err
+	}
+	tabSeed := res.Seed ^ hash64(s.Name())
+	contacts := augment.SampleAll(inst, res.Base.N(), xrand.New(tabSeed))
+	for b, dirty := range res.Dirty {
+		augment.ResampleDirty(inst, contacts, dirty, tabSeed, uint64(b+1))
+	}
+	return augment.NewStatic(s.Name(), contacts)
+}
+
+// hash64 is FNV-1a, matching internal/scenario's string hash (churn cannot
+// import scenario — scenario imports churn).
+func hash64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -31,12 +31,12 @@ type Config = scenario.Config
 func DefaultConfig() Config { return scenario.DefaultConfig() }
 
 func init() {
-	for _, s := range []scenario.Spec{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12()} {
+	for _, s := range []scenario.Spec{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13()} {
 		scenario.Register(s)
 	}
 }
 
-// All returns every experiment spec in order E1..E12.
+// All returns every experiment spec in order E1..E13.
 func All() []scenario.Spec { return scenario.All() }
 
 // ByID returns the experiment with the given (case-sensitive) identifier.

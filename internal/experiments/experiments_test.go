@@ -32,8 +32,8 @@ func runSpec(t *testing.T, spec scenario.Spec, cfg Config) []*report.Table {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(IDs()) != 12 {
+	if len(IDs()) != 13 {
 		t.Fatal("IDs() length mismatch")
 	}
 }

@@ -57,15 +57,30 @@ func (b *Builder) N() int { return int(b.n) }
 
 // AddEdge records the undirected edge {u, v}.  It panics on out-of-range
 // endpoints or self-loops; duplicates are allowed and merged at Build time.
+// The panic is the right contract for generator code, where a bad edge is a
+// programming error; data-driven inputs (delta streams, parsed edge lists)
+// go through TryAddEdge instead.
 func (b *Builder) AddEdge(u, v NodeID) *Builder {
+	if err := b.TryAddEdge(u, v); err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// TryAddEdge records the undirected edge {u, v}, returning an error instead
+// of panicking on out-of-range endpoints or self-loops.  This is the entry
+// point for external or churned input: a malformed edge in a delta stream
+// must surface as an error the caller can reject, never as a process
+// crash.  Duplicates are allowed and merged at Build time.
+func (b *Builder) TryAddEdge(u, v NodeID) error {
 	if u < 0 || v < 0 || u >= b.n || v >= b.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
 	if u == v {
-		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+		return fmt.Errorf("graph: self-loop at node %d", u)
 	}
 	b.edges = append(b.edges, Edge{U: u, V: v})
-	return b
+	return nil
 }
 
 // AddPath adds edges forming a path through the listed nodes in order.

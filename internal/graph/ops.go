@@ -4,6 +4,27 @@ package graph
 // breadth-first search, connectivity, components, and eccentricity helpers.
 // Distance oracles with caching and sampling live in internal/dist; the
 // primitives here are allocation-conscious building blocks.
+//
+// Disconnection contract (churn can sever any graph, so every layer agrees
+// on one convention):
+//
+//   - Pairwise distances use the Unreachable (-1) sentinel: BFS fields,
+//     every dist.Source tier, and the routing validator all report an
+//     unreachable pair as Unreachable, never as a large finite value.
+//   - Whole-graph aggregates that are undefined on disconnected graphs
+//     (Eccentricity, Diameter) return -1 rather than silently restricting
+//     to a component.
+//   - Component-local heuristics (TwoSweepDiameterLowerBound) stay
+//     well-defined: they bound the diameter of the start node's component,
+//     which is still a lower bound on the graph "diameter" under the
+//     max-over-components reading, and they say so in their doc comment.
+//   - The simulator neither errors, resamples, nor retries an unreachable
+//     sampled pair: it counts it (sim.Estimate.Unreachable, the report
+//     `unreachable` column) and excludes it from step aggregates.  Greedy
+//     routing cannot spin against MaxSteps even when a stale oracle claims
+//     a finite distance for a severed pair: every hop strictly decreases
+//     the claimed (distance, id) key, so a walk terminates within the
+//     initially claimed distance and surfaces as Reached=false.
 
 // Unreachable marks an unreachable node in distance slices.
 const Unreachable int32 = -1
@@ -164,7 +185,10 @@ func (g *Graph) Diameter() int32 {
 
 // TwoSweepDiameterLowerBound returns a lower bound on the diameter using the
 // classic double-sweep heuristic: BFS from start, then BFS from the farthest
-// node found.  On trees the bound is exact.
+// node found.  On trees the bound is exact.  On a disconnected graph the
+// sweeps never leave start's component, so the result bounds that
+// component's diameter (unreachable nodes do not participate; they cannot
+// produce a spurious bound).
 func (g *Graph) TwoSweepDiameterLowerBound(start NodeID) int32 {
 	if g.n == 0 {
 		return 0

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"navaug/internal/augment"
+	"navaug/internal/churn"
 	"navaug/internal/dist"
 	"navaug/internal/graph/gen"
 	"navaug/internal/report"
@@ -177,13 +178,13 @@ func (r *Runner) runSpecCells(spec Spec, cs []Cell, sem chan struct{}, done *ato
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cellStart := time.Now()
-			est, err := r.runCell(cs[idx])
+			est, aux, err := r.runCell(cs[idx])
 			r.release(cs[idx])
 			if err != nil {
 				errs[idx] = err
 				return
 			}
-			results[idx] = CellResult{Cell: cs[idx], Est: est}
+			results[idx] = CellResult{Cell: cs[idx], Est: est, Aux: aux}
 			r.progress(spec.ID, done.Add(1), int64(total), cs[idx], est, time.Since(cellStart))
 		}(idx)
 	}
@@ -198,24 +199,26 @@ func (r *Runner) runSpecCells(spec Spec, cs []Cell, sem chan struct{}, done *ato
 }
 
 // runCell resolves the cell's graph and prepared scheme through the shared
-// caches and runs the estimation on the engine.
-func (r *Runner) runCell(cell Cell) (*sim.Estimate, error) {
+// caches and runs the estimation on the engine.  The second return is the
+// graph's auxiliary artefact (the *churn.Result for churned graphs),
+// surfaced to renderers through CellResult.Aux.
+func (r *Runner) runCell(cell Cell) (*sim.Estimate, any, error) {
 	gkey := graphKey(cell.Graph)
 	bg, fields, source, err := r.builtGraph(gkey, cell.Graph)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	inst, name, err := r.prepared(gkey, cell, bg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	est, err := r.engine.EstimateInstance(bg.G, name, inst, r.cellSimConfig(gkey, cell, fields, source))
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", cell.Graph.Family, cell.Scheme.Key, err)
+		return nil, nil, fmt.Errorf("%s/%s: %w", cell.Graph.Family, cell.Scheme.Key, err)
 	}
 	r.stats.cells.Add(1)
 	r.stats.trials.Add(int64(est.Samples))
-	return est, nil
+	return est, bg.Aux, nil
 }
 
 // cellSimConfig resolves the effective sampling budget of a cell: the cell's
@@ -267,7 +270,14 @@ func (r *Runner) cellSimConfig(gkey string, cell Cell, fields *dist.FieldCache, 
 }
 
 func graphKey(ref GraphRef) string {
-	return ref.Family + "#" + strconv.Itoa(ref.N)
+	k := ref.Family + "#" + strconv.Itoa(ref.N)
+	if ref.Churn != nil {
+		// The full churn spec — budget included — is part of the cache
+		// identity: two cells differing only in repair budget measure
+		// different oracles and must not share a pipeline.
+		k += "|churn:" + ref.Churn.Key()
+	}
+	return k
 }
 
 func instKey(gkey string, ref SchemeRef) string {
@@ -287,6 +297,24 @@ func (r *Runner) builtGraph(gkey string, ref GraphRef) (*BuiltGraph, *dist.Field
 		bg, err := ref.Build(ref.N, rng)
 		if err != nil {
 			e.err = fmt.Errorf("building %s n=%d: %w", ref.Family, ref.N, err)
+			return
+		}
+		if ref.Churn != nil {
+			// Churn pipeline: the stream seed depends on the family, size and
+			// StreamKey only — NOT the repair budget — so budget cells churn
+			// identical edges.  The measured artefacts are the final compacted
+			// graph, the repaired (possibly debt-carrying) oracle, and the
+			// generation-stamped field cache; the base graph's analytic metric
+			// no longer describes the churned edge set and is dropped.
+			cseed := GraphSeed(r.cfg.Seed, "churn|"+ref.Family+"|"+ref.Churn.StreamKey(), ref.N)
+			res, cerr := churn.Run(bg.G, cseed, *ref.Churn, r.cfg.Workers)
+			if cerr != nil {
+				e.err = fmt.Errorf("churning %s n=%d: %w", ref.Family, ref.N, cerr)
+				return
+			}
+			e.bg = &BuiltGraph{G: res.Final, Aux: res}
+			e.fields = res.Fields
+			e.source = res.Oracle
 			return
 		}
 		e.bg = bg
@@ -338,6 +366,21 @@ func (r *Runner) prepared(gkey string, cell Cell, bg *BuiltGraph) (augment.Insta
 		scheme, err := cell.Scheme.New(bg)
 		if err != nil {
 			e.err = fmt.Errorf("constructing scheme %s on %s: %w", cell.Scheme.Key, gkey, err)
+			return
+		}
+		// Churned graphs route over the churn-maintained frozen contact
+		// table: one draw over the pre-churn graph, then per-batch local
+		// resampling of exactly the nodes the deltas dirtied.  The contacts
+		// of clean nodes intentionally reflect the pre-churn distribution —
+		// that residual mismatch is part of what churn cells measure.
+		if res, ok := bg.Aux.(*churn.Result); ok {
+			table, terr := churn.FrozenTable(res, scheme)
+			if terr != nil {
+				e.err = fmt.Errorf("freezing scheme %s on %s: %w", scheme.Name(), gkey, terr)
+				return
+			}
+			e.inst = table
+			e.name = scheme.Name()
 			return
 		}
 		inst, err := scheme.Prepare(bg.G)

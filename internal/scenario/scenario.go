@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"navaug/internal/augment"
+	"navaug/internal/churn"
 	"navaug/internal/dist"
 	"navaug/internal/graph"
 	"navaug/internal/report"
@@ -136,6 +137,16 @@ type GraphRef struct {
 	Family string
 	N      int
 	Build  func(n int, rng *xrand.RNG) (*BuiltGraph, error)
+	// Churn, when non-nil, runs the built graph through a churn pipeline
+	// (internal/churn) before any cell measures it: the cell then routes on
+	// the churned (final) graph, steered by the incrementally repaired
+	// DynTwoHop oracle — whose budget-bounded staleness is part of what the
+	// cell measures.  The churn spec (budget included) joins the cache
+	// identity, so cells differing only in budget get separate pipelines,
+	// while the delta stream itself is seeded from Spec.StreamKey and is
+	// therefore identical across budgets.  The churn.Result is handed to the
+	// spec's renderer via CellResult.Aux.
+	Churn *churn.Spec
 }
 
 // SchemeRef names one augmentation scheme declaratively.  Key is the cache
@@ -174,10 +185,14 @@ type Cell struct {
 	Data any
 }
 
-// CellResult pairs a cell with its estimate.
+// CellResult pairs a cell with its estimate.  Aux carries the graph's
+// auxiliary pipeline artefact when one exists — for churned graphs the
+// *churn.Result, so renderers can report repair debt and connectivity next
+// to the routing estimates.
 type CellResult struct {
 	Cell Cell
 	Est  *sim.Estimate
+	Aux  any
 }
 
 // Spec is one registered scenario: an identifier, the cells to measure, and

@@ -107,13 +107,14 @@ type pairState struct {
 	// BFS field wrapped as a dist.Field on first use.
 	src dist.Source
 	// distST is dist(source, target), recorded when src is resolved.
-	distST    int32
-	steps     []float64
-	longLinks float64
-	failed    int
-	attempts  int
-	done      bool
-	err       error
+	distST      int32
+	steps       []float64
+	longLinks   float64
+	failed      int
+	attempts    int
+	unreachable bool
+	done        bool
+	err         error
 }
 
 // Estimate prepares scheme on g and runs the Monte Carlo estimation on this
@@ -244,15 +245,23 @@ func (e *Engine) EstimateInstance(g *graph.Graph, schemeName string, inst augmen
 	var routed int
 	for i, st := range states {
 		ps := PairStats{
-			Pair:   st.pair,
-			Dist:   st.distST,
-			Steps:  stats.NewSummary(st.steps),
-			Failed: st.failed,
+			Pair:        st.pair,
+			Dist:        st.distST,
+			Steps:       stats.NewSummary(st.steps),
+			Failed:      st.failed,
+			Unreachable: st.unreachable,
 		}
 		if len(st.steps) > 0 {
 			ps.MeanLongLinks = st.longLinks / float64(len(st.steps))
 		}
 		est.PairStats[i] = ps
+		if st.unreachable {
+			// No trials ran; the pair is reported in the unreachable count
+			// and excluded from every mean (a zero-step "route" between
+			// components would drag the estimates toward fiction).
+			est.Unreachable++
+			continue
+		}
 		est.Samples += st.attempts
 		routed += len(st.steps)
 		if ps.Steps.Mean > est.GreedyDiameter {
@@ -298,7 +307,11 @@ func runBatch(g *graph.Graph, inst augment.Instance, st *pairState, b int, cfg C
 		}
 		st.distST = st.src.Dist(st.pair.Source, st.pair.Target)
 		if st.distST == graph.Unreachable {
-			st.err = fmt.Errorf("sim: pair (%d,%d) is disconnected", st.pair.Source, st.pair.Target)
+			// Disconnected pair: routing is undefined, so the pair runs no
+			// trials and is *counted*, not errored — churn legitimately cuts
+			// graphs apart, and spinning against MaxSteps or silently
+			// resampling would both misreport it (internal/graph/ops.go).
+			st.unreachable = true
 			st.done = true
 			return
 		}

@@ -103,6 +103,12 @@ type PairStats struct {
 	Steps         stats.Summary
 	MeanLongLinks float64
 	Failed        int // trials that hit the step cap (should be zero)
+	// Unreachable marks a pair whose target is in a different component
+	// (Dist == graph.Unreachable).  Such pairs run no trials and are
+	// reported, never silently resampled and never an error: disconnection
+	// is an expected outcome on churned graphs (see the contract in
+	// internal/graph/ops.go).
+	Unreachable bool
 }
 
 // Estimate is the outcome of a greedy-diameter estimation.
@@ -122,6 +128,10 @@ type Estimate struct {
 	MeanLongLinks float64
 	// Samples is the total number of routed trials across all pairs.
 	Samples int
+	// Unreachable counts sampled pairs whose endpoints are disconnected.
+	// They contribute to no mean: routing is only defined within a
+	// component, and the count itself is the degradation signal.
+	Unreachable int
 	// Adaptive records whether the streaming adaptive schedule was used,
 	// and TargetCI the relative CI target it ran against.
 	Adaptive bool

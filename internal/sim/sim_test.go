@@ -102,11 +102,19 @@ func TestEstimateRejectsBadFixedPairs(t *testing.T) {
 	}
 }
 
-func TestEstimateDisconnectedPairFails(t *testing.T) {
+func TestEstimateDisconnectedPairCounted(t *testing.T) {
+	// A disconnected pair is an expected outcome (churned graphs fall
+	// apart), so it must be counted as unreachable — not an error, which is
+	// what an earlier version did and which made any churn run with a split
+	// component abort wholesale.
 	g := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).Build()
 	cfg := Config{FixedPairs: []Pair{{Source: 0, Target: 3}}}
-	if _, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg); err == nil {
-		t.Fatal("disconnected pair accepted")
+	est, err := EstimateGreedyDiameter(g, augment.NewUniformScheme(), cfg)
+	if err != nil {
+		t.Fatalf("disconnected pair errored: %v", err)
+	}
+	if est.Unreachable != 1 || !est.PairStats[0].Unreachable {
+		t.Fatalf("disconnected pair not counted: %+v", est)
 	}
 }
 
@@ -506,6 +514,52 @@ func TestEstimatePolicyEquivalence(t *testing.T) {
 						g, i, est.PairStats[i].Dist, policy, want.PairStats[i].Dist)
 				}
 			}
+		}
+	}
+}
+
+// TestDisconnectedPairCountedNotErrored pins the disconnection contract
+// (internal/graph/ops.go): a sampled pair whose endpoints sit in different
+// components runs no trials, is reported in the Unreachable counters, and
+// never errors the estimation or skews the means of the reachable pairs.
+func TestDisconnectedPairCountedNotErrored(t *testing.T) {
+	// Two components: a path 0..4 and a path 5..9.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		b.AddEdge(graph.NodeID(5+i), graph.NodeID(6+i))
+	}
+	g := b.Build()
+	cfg := Config{
+		FixedPairs: []Pair{
+			{Source: 0, Target: 4}, // reachable, distance 4
+			{Source: 0, Target: 7}, // cross-component
+			{Source: 5, Target: 9}, // reachable, distance 4
+		},
+		Trials: 2,
+		Seed:   3,
+	}
+	est, err := EstimateGreedyDiameter(g, augment.NewNoAugmentation(), cfg)
+	if err != nil {
+		t.Fatalf("disconnected pair errored the run: %v", err)
+	}
+	if est.Unreachable != 1 {
+		t.Fatalf("Unreachable = %d, want 1", est.Unreachable)
+	}
+	ps := est.PairStats[1]
+	if !ps.Unreachable || ps.Dist != graph.Unreachable || ps.Steps.Count != 0 || ps.Failed != 0 {
+		t.Fatalf("unreachable pair misreported: %+v", ps)
+	}
+	// The reachable pairs' statistics are untouched by the dead pair.
+	if est.GreedyDiameter != 4 || est.MeanSteps != 4 {
+		t.Fatalf("means skewed by unreachable pair: gd=%v mean=%v", est.GreedyDiameter, est.MeanSteps)
+	}
+	if est.Samples != 4 {
+		t.Fatalf("Samples = %d, want 4 (2 trials x 2 reachable pairs)", est.Samples)
+	}
+	for _, p := range []PairStats{est.PairStats[0], est.PairStats[2]} {
+		if p.Unreachable || p.Steps.Mean != 4 {
+			t.Fatalf("reachable pair misreported: %+v", p)
 		}
 	}
 }
